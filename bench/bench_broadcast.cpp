@@ -1,0 +1,56 @@
+// Experiment D4 — one-to-all broadcast in DN(d,k) (the collective the
+// Samatham-Pradhan versatility argument cares about).
+//
+// Measured: broadcast completion (rounds) over BFS spanning trees for the
+// best and worst root, all-port vs single-port, against the eccentricity
+// lower bound (no schedule can finish before the farthest site is
+// reachable). All-port always meets the bound exactly; single-port pays a
+// small factor bounded by the maximum number of tree children (<= 2d).
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "debruijn/bfs.hpp"
+#include "net/broadcast.hpp"
+
+int main() {
+  using namespace dbn;
+  using namespace dbn::net;
+  std::cout << "== Experiment D4: broadcast completion in DN(d,k) ==\n\n";
+
+  Table table({"d", "k", "N", "allport best", "allport worst",
+               "singleport best", "singleport worst", "ecc bound (min/max)"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 4}, {2, 6}, {2, 8}, {3, 3}, {3, 4}, {4, 3}, {5, 3}}) {
+    const DeBruijnGraph g(d, k, Orientation::Undirected);
+    int all_best = 1 << 20, all_worst = 0;
+    int single_best = 1 << 20, single_worst = 0;
+    int ecc_min = 1 << 20, ecc_max = 0;
+    for (std::uint64_t root = 0; root < g.vertex_count(); ++root) {
+      const BroadcastTree tree = build_broadcast_tree(g, root);
+      const int all = schedule_broadcast(tree, PortModel::AllPort).completion;
+      const int single =
+          schedule_broadcast(tree, PortModel::SinglePort).completion;
+      all_best = std::min(all_best, all);
+      all_worst = std::max(all_worst, all);
+      single_best = std::min(single_best, single);
+      single_worst = std::max(single_worst, single);
+      ecc_min = std::min(ecc_min, tree.height);
+      ecc_max = std::max(ecc_max, tree.height);
+    }
+    table.add_row({std::to_string(d), std::to_string(k),
+                   std::to_string(g.vertex_count()), std::to_string(all_best),
+                   std::to_string(all_worst), std::to_string(single_best),
+                   std::to_string(single_worst),
+                   std::to_string(ecc_min) + "/" + std::to_string(ecc_max)});
+  }
+  table.print(std::cout,
+              "Broadcast rounds over BFS trees, every root tried (all-port "
+              "equals the eccentricity bound)");
+  std::cout << "\nShape: all-port broadcast completes in eccentricity(root) "
+               "<= k rounds —\nlogarithmic in N, the property that makes "
+               "de Bruijn networks good collective\nfabrics; single-port "
+               "pays at most a small constant factor (fan-out <= 2d).\n";
+  return 0;
+}

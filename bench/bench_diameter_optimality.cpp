@@ -1,0 +1,80 @@
+// Experiment D1 — the introduction's optimality claim: "de Bruijn graphs
+// are nearly optimal graphs that minimize the diameter, given the number
+// of vertices and the degree" (via Imase & Itoh, reference [4]).
+//
+// Measured: for DG(d,k) (as GB(d^k, d)) and for non-power sizes GB(n,d),
+// the BFS diameter vs the Moore-style lower bound for out-degree-d
+// digraphs (smallest D with 1 + d + ... + d^D >= n) and vs ceil(log_d n)
+// (the Imase-Itoh upper bound). "Nearly optimal" = within one of the
+// bound, everywhere.
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "debruijn/generalized.hpp"
+#include "debruijn/kautz.hpp"
+#include "debruijn/word.hpp"
+
+int main() {
+  using namespace dbn;
+  std::cout << "== Experiment D1: diameter optimality (Imase-Itoh, paper's "
+               "ref [4]) ==\n\n";
+
+  Table dg({"d", "k", "N = d^k", "diameter", "Moore bound", "slack"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 3}, {2, 6}, {2, 9}, {2, 11}, {3, 4}, {3, 6}, {4, 4}, {5, 3},
+           {8, 3}}) {
+    const std::uint64_t n = Word::vertex_count(d, k);
+    const GeneralizedDeBruijn gb(n, d);
+    const int diam = gb.diameter();
+    const int bound = directed_diameter_lower_bound(n, d);
+    dg.add_row({std::to_string(d), std::to_string(k), std::to_string(n),
+                std::to_string(diam), std::to_string(bound),
+                std::to_string(diam - bound)});
+  }
+  dg.print(std::cout,
+           "DG(d,k): diameter k vs the Moore lower bound (slack <= 1 "
+           "everywhere = 'nearly optimal')");
+
+  std::cout << "\n";
+  Table gbt({"n", "d", "diameter", "ceil(log_d n)", "Moore bound"});
+  for (const std::uint32_t d : {2u, 3u, 4u}) {
+    for (const std::uint64_t n :
+         {10ull, 25ull, 60ull, 100ull, 300ull, 777ull, 1500ull}) {
+      const GeneralizedDeBruijn gb(n, d);
+      int ceil_log = 0;
+      std::uint64_t power = 1;
+      while (power < n) {
+        power *= d;
+        ++ceil_log;
+      }
+      gbt.add_row({std::to_string(n), std::to_string(d),
+                   std::to_string(gb.diameter()), std::to_string(ceil_log),
+                   std::to_string(directed_diameter_lower_bound(n, d))});
+    }
+  }
+  gbt.print(std::cout,
+            "Generalized GB(n,d) for arbitrary n: diameter <= ceil(log_d n) "
+            "(Imase-Itoh), within one of the Moore bound");
+
+  std::cout << "\n";
+  Table kt({"d", "k", "Kautz N", "de Bruijn N", "Kautz diam", "Moore bound"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 3}, {2, 5}, {2, 8}, {3, 3}, {3, 4}, {4, 3}}) {
+    const KautzGraph kautz(d, k);
+    kt.add_row({std::to_string(d), std::to_string(k),
+                std::to_string(kautz.vertex_count()),
+                std::to_string(Word::vertex_count(d, k)),
+                std::to_string(kautz.diameter()),
+                std::to_string(
+                    directed_diameter_lower_bound(kautz.vertex_count(), d))});
+  }
+  kt.print(std::cout,
+           "Kautz graphs K(d,k): (d+1)/d times the vertices at the same "
+           "degree and diameter — the family's tight sibling");
+  std::cout << "\nShape: every de Bruijn row has slack <= 1; the generalized "
+               "construction keeps\nthe property for every n, and Kautz "
+               "graphs close most of the remaining gap —\nwhich is why [4] "
+               "calls the family nearly optimal.\n";
+  return 0;
+}

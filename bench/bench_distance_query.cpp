@@ -1,0 +1,70 @@
+// Experiment C3 — what the distance *functions* buy over graph search:
+// Property 1 / Theorem 2 answer a distance query in O(k) symbols, while the
+// generic alternative (BFS) costs O(N d) = O(d^(k+1)) per source.
+//
+// google-benchmark over k (d = 2): per-query cost of
+//   - directed distance via Property 1,
+//   - undirected distance via Theorem 2 (suffix-tree form),
+//   - single-source BFS on the materialized graph (the baseline a system
+//     without the formulas would run).
+// The formulas stay in nanoseconds as N doubles; BFS grows with N.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/distance.hpp"
+#include "debruijn/bfs.hpp"
+
+namespace {
+
+using namespace dbn;
+
+Word random_word(Rng& rng, std::uint32_t d, std::size_t k) {
+  std::vector<Digit> digits(k);
+  for (auto& x : digits) {
+    x = static_cast<Digit>(rng.below(d));
+  }
+  return Word(d, std::move(digits));
+}
+
+void BM_DirectedFormula(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(directed_distance(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DirectedFormula)->DenseRange(4, 20, 2)->Complexity(benchmark::oN);
+
+void BM_UndirectedFormula(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(undirected_distance(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_UndirectedFormula)->DenseRange(4, 20, 2)->Complexity(benchmark::oN);
+
+void BM_BfsQuery(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const DeBruijnGraph g(2, k, Orientation::Undirected);
+  const std::uint64_t src = random_word(rng, 2, k).rank();
+  const std::uint64_t dst = random_word(rng, 2, k).rank();
+  for (auto _ : state) {
+    const auto dist = bfs_distances(g, src);
+    benchmark::DoNotOptimize(dist[dst]);
+  }
+  // N = 2^k: express the complexity in vertices.
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(1) << k);
+}
+BENCHMARK(BM_BfsQuery)->DenseRange(4, 20, 2)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

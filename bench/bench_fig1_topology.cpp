@@ -1,0 +1,123 @@
+// Experiment F1 — Figure 1 of the paper: the directed and undirected
+// de Bruijn graphs DG(2,3), plus the Section 1 structural claims
+// (arc count N*d; degree censuses after removing redundant arcs/edges).
+//
+// Output: the full arc/edge lists of DG(2,3) in the paper's vertex notation
+// and a census table for a range of (d,k), each row checked against the
+// claimed closed form.
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/table.hpp"
+#include "debruijn/graph.hpp"
+
+namespace {
+
+using namespace dbn;
+
+std::string word_str(const DeBruijnGraph& g, std::uint64_t rank) {
+  const Word w = g.word(rank);
+  std::string s;
+  for (std::size_t i = 0; i < w.length(); ++i) {
+    s += static_cast<char>('0' + w.digit(i));
+  }
+  return s;
+}
+
+void print_directed_dg23() {
+  const DeBruijnGraph g(2, 3, Orientation::Directed);
+  std::cout << "Figure 1(a): directed DG(2,3) — arcs X -> X^-(a)\n";
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    std::cout << "  " << word_str(g, v) << " ->";
+    for (const std::uint64_t w : g.neighbors(v)) {
+      std::cout << " " << word_str(g, w);
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_undirected_dg23() {
+  const DeBruijnGraph g(2, 3, Orientation::Undirected);
+  std::cout << "\nFigure 1(b): undirected DG(2,3) — edges (loops/duplicates "
+               "removed)\n";
+  std::set<std::pair<std::uint64_t, std::uint64_t>> printed;
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    for (const std::uint64_t w : g.neighbors(v)) {
+      const auto edge = std::minmax(v, w);
+      if (printed.insert({edge.first, edge.second}).second) {
+        std::cout << "  " << word_str(g, edge.first) << " -- "
+                  << word_str(g, edge.second) << "\n";
+      }
+    }
+  }
+  std::cout << "  (" << printed.size() << " edges)\n";
+}
+
+void print_census_table() {
+  Table table({"d", "k", "N", "deg=2d", "deg=2d-1", "deg=2d-2", "claim"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 3}, {2, 6}, {2, 9}, {3, 3}, {3, 5}, {4, 4}, {5, 3}, {7, 3}}) {
+    for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+      const DeBruijnGraph g(d, k, o);
+      const auto census = g.degree_census();
+      const std::uint64_t n = g.vertex_count();
+      const auto at = [&](std::size_t deg) -> std::uint64_t {
+        const auto it = census.find(deg);
+        return it == census.end() ? 0 : it->second;
+      };
+      bool claim_ok = false;
+      if (o == Orientation::Directed) {
+        // Paper: N-d vertices of degree 2d, d of degree 2d-2.
+        claim_ok = at(2 * d) == n - d && at(2 * d - 2) == d;
+      } else {
+        // Reconstructed claim: N-d^2 of degree 2d, d^2-d of 2d-1, d of 2d-2.
+        claim_ok = at(2 * d) == n - static_cast<std::uint64_t>(d) * d &&
+                   at(2 * d - 1) == static_cast<std::uint64_t>(d) * (d - 1) &&
+                   at(2 * d - 2) == d;
+      }
+      table.add_row({std::to_string(d) +
+                         (o == Orientation::Directed ? " (dir)" : " (und)"),
+                     std::to_string(k), std::to_string(n),
+                     std::to_string(at(2 * d)), std::to_string(at(2 * d - 1)),
+                     std::to_string(at(2 * d - 2)),
+                     claim_ok ? "OK" : "MISMATCH"});
+    }
+  }
+  std::cout << "\n";
+  table.print(std::cout,
+              "Degree census vs Section 1 claims (directed: N-d @ 2d, d @ "
+              "2d-2; undirected: N-d^2 @ 2d, d^2-d @ 2d-1, d @ 2d-2)");
+}
+
+void print_arc_counts() {
+  Table table({"d", "k", "N", "arcs (directed)", "N*d", "match"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 3}, {3, 4}, {4, 3}, {5, 3}}) {
+    const DeBruijnGraph g(d, k, Orientation::Directed);
+    std::uint64_t arcs = 0;
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      arcs += g.neighbors(v).size();
+    }
+    table.add_row({std::to_string(d), std::to_string(k),
+                   std::to_string(g.vertex_count()), std::to_string(arcs),
+                   std::to_string(g.vertex_count() * d),
+                   arcs == g.vertex_count() * d ? "OK" : "MISMATCH"});
+  }
+  std::cout << "\n";
+  table.print(std::cout, "Arc count vs the paper's 'there are Nd arcs'");
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Experiment F1: Figure 1 topology and Section 1 structural "
+               "claims ==\n\n";
+  print_directed_dg23();
+  print_undirected_dg23();
+  print_census_table();
+  print_arc_counts();
+  return 0;
+}

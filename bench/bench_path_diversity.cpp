@@ -1,0 +1,82 @@
+// Experiment D2 — route diversity: how many optimal paths the network
+// offers. The paper's wildcard remark exposes freedom *within* one path
+// shape; this measures the freedom across all shortest paths — the slack a
+// balancing or recovery layer can exploit (and part of why the S1 policies
+// help).
+//
+// Measured: mean number of shortest paths over ordered pairs, and the
+// count profile by distance, for directed and undirected DG(d,k).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/path_count.hpp"
+#include "debruijn/bfs.hpp"
+
+int main() {
+  using namespace dbn;
+  std::cout << "== Experiment D2: shortest-path diversity of DG(d,k) ==\n\n";
+
+  Table mean_table({"d", "k", "orientation", "mean #paths", "max #paths"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 4}, {2, 6}, {2, 8}, {3, 3}, {3, 5}, {4, 3}, {5, 3}}) {
+    for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+      const DeBruijnGraph g(d, k, o);
+      double total = 0.0;
+      std::uint64_t max_count = 0;
+      for (std::uint64_t src = 0; src < g.vertex_count(); ++src) {
+        const auto counts = count_shortest_paths_from(g, src);
+        for (std::uint64_t dst = 0; dst < g.vertex_count(); ++dst) {
+          if (dst == src) {
+            continue;
+          }
+          total += static_cast<double>(counts[dst]);
+          max_count = std::max(max_count, counts[dst]);
+        }
+      }
+      const double n = static_cast<double>(g.vertex_count());
+      mean_table.add_row(
+          {std::to_string(d), std::to_string(k),
+           o == Orientation::Directed ? "directed" : "undirected",
+           Table::num(total / (n * (n - 1)), 3), std::to_string(max_count)});
+    }
+  }
+  mean_table.print(std::cout, "Mean / max number of shortest paths (ordered "
+                              "pairs, src != dst)");
+
+  std::cout << "\n";
+  // Profile by distance for the undirected DG(2,8).
+  const DeBruijnGraph g(2, 8, Orientation::Undirected);
+  std::vector<double> sum_by_dist(9, 0.0);
+  std::vector<std::uint64_t> pairs_by_dist(9, 0);
+  for (std::uint64_t src = 0; src < g.vertex_count(); ++src) {
+    const auto dist = bfs_distances(g, src);
+    const auto counts = count_shortest_paths_from(g, src);
+    for (std::uint64_t dst = 0; dst < g.vertex_count(); ++dst) {
+      if (dst == src) {
+        continue;
+      }
+      sum_by_dist[static_cast<std::size_t>(dist[dst])] +=
+          static_cast<double>(counts[dst]);
+      ++pairs_by_dist[static_cast<std::size_t>(dist[dst])];
+    }
+  }
+  Table profile({"distance", "pairs", "mean #paths"});
+  for (std::size_t i = 1; i <= 8; ++i) {
+    if (pairs_by_dist[i] == 0) {
+      continue;
+    }
+    profile.add_row({std::to_string(i), std::to_string(pairs_by_dist[i]),
+                     Table::num(sum_by_dist[i] /
+                                    static_cast<double>(pairs_by_dist[i]),
+                                3)});
+  }
+  profile.print(std::cout, "Undirected DG(2,8): path diversity by distance");
+  std::cout << "\nShape: the directed graph has mean and max exactly 1 — a "
+               "directed shortest\npath is forced digit by digit (every left "
+               "shift must insert the next digit of\nY). All the diversity "
+               "comes from bi-directionality, and it grows with\ndistance — "
+               "the slack behind wildcard balancing and fault recovery.\n";
+  return 0;
+}

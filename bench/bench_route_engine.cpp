@@ -1,0 +1,69 @@
+// Ablation A2 — the paper's Section 4 remark quantified: "mechanical
+// transformations" (here: hoisting every allocation out of the hot path)
+// versus the straightforward implementation of the same Algorithm 2.
+//
+// BM_Allocating constructs rows/paths per call; BM_Engine reuses buffers
+// in a BidirectionalRouteEngine. At small k (the practical regime — a
+// physical network with k = 16 already has 65536 sites) the engine's
+// advantage is the difference between the algorithm's cost and malloc's.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/route_engine.hpp"
+#include "core/routers.hpp"
+
+namespace {
+
+using namespace dbn;
+
+Word random_word(Rng& rng, std::uint32_t d, std::size_t k) {
+  std::vector<Digit> digits(k);
+  for (auto& x : digits) {
+    x = static_cast<Digit>(rng.below(d));
+  }
+  return Word(d, std::move(digits));
+}
+
+void BM_Allocating(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_bidirectional_mp(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Allocating)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_Engine(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  BidirectionalRouteEngine engine(k);
+  RoutingPath path;
+  for (auto _ : state) {
+    engine.route_into(x, y, WildcardMode::Concrete, path);
+    benchmark::DoNotOptimize(path);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Engine)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_EngineDistanceOnly(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  BidirectionalRouteEngine engine(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.distance(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EngineDistanceOnly)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Experiment D9 — the classic interconnect figure the 1990 paper predates:
+// offered load vs delivered latency for DN(2,8), wildcard-balanced
+// Algorithm 4 paths. Mean latency stays near the average distance until
+// the network approaches saturation, then the queueing knee appears.
+#include <iostream>
+#include <vector>
+
+#include "common/ascii_plot.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/routers.hpp"
+#include "net/simulator.hpp"
+#include "net/traffic.hpp"
+
+int main() {
+  using namespace dbn;
+  using namespace dbn::net;
+  constexpr std::uint32_t d = 2;
+  constexpr std::size_t k = 8;
+  std::cout << "== Experiment D9: load-latency curve, DN(2,8) ==\n\n";
+
+  std::vector<double> rates;
+  for (double r = 0.02; r <= 0.44; r += 0.03) {
+    rates.push_back(r);
+  }
+  Table table({"rate/site", "delivered", "mean lat", "p99 lat", "max queue"});
+  PlotSeries mean_series{{}, {}, '*', "mean latency"};
+  PlotSeries p99_series{{}, {}, '9', "p99 latency"};
+  for (const double rate : rates) {
+    SimConfig config;
+    config.radix = d;
+    config.k = k;
+    config.wildcard_policy = WildcardPolicy::Random;
+    Simulator sim(config);
+    Rng rng(static_cast<std::uint64_t>(rate * 1000));
+    for (const Injection& inj : uniform_traffic(d, k, rate, 250.0, rng)) {
+      const Word src = Word::from_rank(d, k, inj.source);
+      const Word dst = Word::from_rank(d, k, inj.destination);
+      sim.inject(inj.time,
+                 Message(ControlCode::Data, src, dst,
+                         route_bidirectional_suffix_tree(
+                             src, dst, WildcardMode::Wildcards)));
+    }
+    sim.run();
+    const SimStats& s = sim.stats();
+    table.add_row({Table::num(rate, 2), std::to_string(s.delivered),
+                   Table::num(s.mean_latency(), 2),
+                   Table::num(s.latency_percentile(99), 2),
+                   std::to_string(s.max_queue)});
+    mean_series.xs.push_back(rate);
+    mean_series.ys.push_back(s.mean_latency());
+    p99_series.xs.push_back(rate);
+    p99_series.ys.push_back(s.latency_percentile(99));
+  }
+  table.print(std::cout, "Uniform Poisson traffic, 250 time units per point");
+  std::cout << "\n";
+  AsciiPlot plot(60, 16);
+  plot.add_series(std::move(mean_series));
+  plot.add_series(std::move(p99_series));
+  plot.print(std::cout, "Latency vs offered load (rate per site)");
+  std::cout << "\nShape: flat near the average distance (~5) at low load, "
+               "then the queueing\nknee as links saturate — the classic "
+               "hockey stick.\n";
+  return 0;
+}

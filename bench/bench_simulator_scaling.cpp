@@ -1,0 +1,58 @@
+// Experiment D7 — simulator capacity: events per second and wall-clock per
+// simulated message as the network grows, so users know what scale the
+// substrate sustains. Also demonstrates that the discrete-event core cost
+// is O(messages * hops * log queue), independent of N beyond cache
+// effects (the graph is implicit — no N-sized adjacency is ever built).
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/routers.hpp"
+#include "net/simulator.hpp"
+#include "net/traffic.hpp"
+
+int main() {
+  using namespace dbn;
+  using namespace dbn::net;
+  std::cout << "== Experiment D7: simulator throughput ==\n\n";
+  Table table({"d", "k", "N", "messages", "hops", "wall ms", "hops/sec"});
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 6}, {2, 10}, {2, 14}, {2, 17}, {3, 9}, {4, 7}}) {
+    SimConfig config;
+    config.radix = d;
+    config.k = k;
+    config.wildcard_policy = WildcardPolicy::Random;
+    Simulator sim(config);
+    Rng rng(k * 31 + d);
+    const std::uint64_t n = Word::vertex_count(d, k);
+    const std::size_t messages = 20000;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < messages; ++i) {
+      const Word src = Word::from_rank(d, k, rng.below(n));
+      const Word dst = Word::from_rank(d, k, rng.below(n));
+      sim.inject(0.001 * static_cast<double>(i),
+                 Message(ControlCode::Data, src, dst,
+                         route_bidirectional_suffix_tree(
+                             src, dst, WildcardMode::Wildcards)));
+    }
+    sim.run();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    table.add_row(
+        {std::to_string(d), std::to_string(k), std::to_string(n),
+         std::to_string(sim.stats().delivered),
+         std::to_string(sim.stats().total_hops), Table::num(ms, 1),
+         Table::num(static_cast<double>(sim.stats().total_hops) / ms * 1000.0,
+                    0)});
+  }
+  table.print(std::cout,
+              "20000 routed messages per row (route generation included in "
+              "wall time)");
+  std::cout << "\nShape: hops/sec stays in the millions as N grows from 64 "
+               "to 131072 — the\nimplicit graph keeps the simulator's cost "
+               "per hop roughly constant.\n";
+  return 0;
+}

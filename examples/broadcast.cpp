@@ -1,0 +1,53 @@
+// Broadcast demo: one-to-all dissemination over a BFS spanning tree of
+// DN(2,5), with the all-port and single-port schedules side by side.
+//
+// Run: ./build/examples/broadcast
+#include <iostream>
+
+#include "debruijn/bfs.hpp"
+#include "net/broadcast.hpp"
+
+int main() {
+  using namespace dbn;
+  using namespace dbn::net;
+
+  const DeBruijnGraph g(2, 5, Orientation::Undirected);
+  const Word root_word(2, {1, 0, 1, 1, 0});
+  const BroadcastTree tree = build_broadcast_tree(g, root_word.rank());
+
+  std::cout << "DN(2,5), broadcast from " << root_word.to_string()
+            << " over a BFS spanning tree (height " << tree.height << ")\n\n";
+
+  const BroadcastSchedule all = schedule_broadcast(tree, PortModel::AllPort);
+  const BroadcastSchedule single =
+      schedule_broadcast(tree, PortModel::SinglePort);
+
+  std::cout << "all-port:    completes in " << all.completion << " rounds ("
+            << all.messages << " point-to-point messages)\n";
+  std::cout << "single-port: completes in " << single.completion
+            << " rounds (same " << single.messages << " messages)\n\n";
+
+  // Who gets it when (all-port = BFS layers).
+  for (int round = 0; round <= all.completion; ++round) {
+    std::cout << "round " << round << ":";
+    int shown = 0;
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      if (all.receive_round[v] == round) {
+        if (shown < 8) {
+          std::cout << " " << g.word(v).to_string();
+        }
+        ++shown;
+      }
+    }
+    if (shown > 8) {
+      std::cout << " ... (" << shown << " sites)";
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nThe all-port completion equals the root's eccentricity ("
+            << eccentricity(g, root_word.rank())
+            << ") — no schedule can do better, and the de Bruijn diameter "
+               "guarantees it is at most k.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the library in five minutes.
+//
+// Builds the Figure 1 graph DG(2,3), computes distances with the paper's
+// closed forms, and routes a message with each of the three algorithms,
+// printing the paths in the paper's {(a,b),...} notation.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <iostream>
+
+#include "core/distance.hpp"
+#include "core/routers.hpp"
+#include "debruijn/bfs.hpp"
+#include "debruijn/graph.hpp"
+
+int main() {
+  using namespace dbn;
+
+  // --- Vertices are d-ary words (the paper's X = (x_1,...,x_k)). ---------
+  const Word x(2, {0, 1, 1});
+  const Word y(2, {1, 0, 0});
+  std::cout << "DN(2,3): route from X = " << x.to_string() << " to Y = "
+            << y.to_string() << "\n\n";
+
+  // --- Distances (Section 2). --------------------------------------------
+  std::cout << "directed distance   D(X,Y) = " << directed_distance(x, y)
+            << "   (Property 1: k minus the suffix/prefix overlap)\n";
+  std::cout << "undirected distance D(X,Y) = " << undirected_distance(x, y)
+            << "   (Theorem 2, via suffix trees in O(k))\n\n";
+
+  // --- Routing (Section 3). ----------------------------------------------
+  const RoutingPath uni = route_unidirectional(x, y);
+  std::cout << "Algorithm 1 (uni-directional):  " << uni.to_string()
+            << "  -> " << uni.apply(x).to_string() << "\n";
+
+  const RoutingPath mp = route_bidirectional_mp(x, y);
+  std::cout << "Algorithm 2 (failure function): " << mp.to_string() << "  -> "
+            << mp.apply(x).to_string() << "\n";
+
+  const RoutingPath st = route_bidirectional_suffix_tree(x, y);
+  std::cout << "Algorithm 4 (suffix tree):      " << st.to_string() << "  -> "
+            << st.apply(x).to_string() << "\n\n";
+
+  // --- Wildcard digits: the forwarding site's free choice. -----------------
+  const Word a = Word::zero(2, 5);
+  const Word b(2, {1, 0, 0, 0, 1});
+  const RoutingPath wc =
+      route_bidirectional_suffix_tree(a, b, WildcardMode::Wildcards);
+  std::cout << "With wildcards, " << a.to_string() << " -> " << b.to_string()
+            << " routes as " << wc.to_string()
+            << ":\n  any digit works for \"*\" — e.g. resolving it to 1 gives "
+            << wc.apply(a, [](std::size_t, ShiftType, const Word&) {
+                 return Digit{1};
+               }).to_string()
+            << " = Y, and sites can pick\n  the emptiest link instead "
+               "(the paper's traffic-balancing remark).\n\n";
+
+  // --- The graph itself, when you want to enumerate it. -------------------
+  const DeBruijnGraph g(2, 3, Orientation::Undirected);
+  std::cout << "DG(2,3) undirected: N = " << g.vertex_count()
+            << " vertices, diameter = " << diameter(g) << " (= k)\n";
+  std::cout << "neighbors of " << x.to_string() << ":";
+  for (const std::uint64_t v : g.neighbors(x.rank())) {
+    std::cout << " " << g.word(v).to_string();
+  }
+  std::cout << "\n\nEvery path above has length equal to the distance — "
+               "that is the paper's\noptimality guarantee, validated "
+               "against BFS in this repo's test suite.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+AsciiPlot::AsciiPlot(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  DBN_REQUIRE(width_ >= 16 && height_ >= 4, "plot area too small");
+}
+
+void AsciiPlot::add_series(PlotSeries series) {
+  DBN_REQUIRE(series.xs.size() == series.ys.size(),
+              "series must have matching x/y sizes");
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::print(std::ostream& out, const std::string& title) const {
+  double min_x = std::numeric_limits<double>::max();
+  double max_x = std::numeric_limits<double>::lowest();
+  double min_y = std::numeric_limits<double>::max();
+  double max_y = std::numeric_limits<double>::lowest();
+  bool any = false;
+  for (const PlotSeries& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      min_x = std::min(min_x, s.xs[i]);
+      max_x = std::max(max_x, s.xs[i]);
+      min_y = std::min(min_y, s.ys[i]);
+      max_y = std::max(max_y, s.ys[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    out << "(empty plot)\n";
+    return;
+  }
+  if (max_x == min_x) {
+    max_x = min_x + 1;
+  }
+  if (max_y == min_y) {
+    max_y = min_y + 1;
+  }
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const PlotSeries& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const double fx = (s.xs[i] - min_x) / (max_x - min_x);
+      const double fy = (s.ys[i] - min_y) / (max_y - min_y);
+      const auto col = static_cast<std::size_t>(
+          std::llround(fx * static_cast<double>(width_ - 1)));
+      const auto row = static_cast<std::size_t>(
+          std::llround((1.0 - fy) * static_cast<double>(height_ - 1)));
+      grid[row][col] = s.glyph;
+    }
+  }
+  if (!title.empty()) {
+    out << title << "\n";
+  }
+  std::ostringstream top_label, bottom_label;
+  top_label << std::setprecision(3) << max_y;
+  bottom_label << std::setprecision(3) << min_y;
+  const std::size_t label_width =
+      std::max(top_label.str().size(), bottom_label.str().size());
+  for (std::size_t r = 0; r < height_; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0) {
+      label = top_label.str();
+    } else if (r == height_ - 1) {
+      label = bottom_label.str();
+    }
+    out << std::setw(static_cast<int>(label_width)) << label << " |"
+        << grid[r] << "\n";
+  }
+  out << std::string(label_width + 1, ' ') << '+'
+      << std::string(width_, '-') << "\n";
+  out << std::string(label_width + 2, ' ') << std::setprecision(3) << min_x;
+  const std::string max_x_str = [&] {
+    std::ostringstream os;
+    os << std::setprecision(3) << max_x;
+    return os.str();
+  }();
+  out << std::string(width_ > max_x_str.size() + 4 ? width_ - max_x_str.size() - 1
+                                                   : 1,
+                     ' ')
+      << max_x_str << "\n";
+  for (const PlotSeries& s : series_) {
+    out << "  " << s.glyph << " = " << s.label << "\n";
+  }
+}
+
+}  // namespace dbn

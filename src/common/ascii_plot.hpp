@@ -1,0 +1,38 @@
+// Minimal ASCII chart renderer so the benchmark binaries can *draw* the
+// paper's Figure 2 (and friends) directly in the terminal, one glyph per
+// series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbn {
+
+/// One curve: (x, y) points, a single-character glyph, and a legend label.
+struct PlotSeries {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char glyph = '*';
+  std::string label;
+};
+
+/// Renders the series onto a width x height character grid with simple
+/// linear scaling, y axis on the left, x axis on the bottom, and a legend.
+/// Points from later series overwrite earlier glyphs on collisions.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::size_t width, std::size_t height);
+
+  void add_series(PlotSeries series);
+
+  /// Writes the chart (optionally titled) to `out`.
+  void print(std::ostream& out, const std::string& title = "") const;
+
+ private:
+  std::size_t width_;
+  std::size_t height_;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace dbn

@@ -1,0 +1,56 @@
+// Contract checking for the debruijn-routing library.
+//
+// Public API entry points validate their preconditions with DBN_REQUIRE and
+// throw dbn::ContractViolation on failure; internal invariants use
+// DBN_ASSERT, which compiles to a check in all build types (the library is
+// cheap enough that we never strip invariant checks).
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace dbn {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const std::string& msg,
+                                          const std::source_location loc) {
+  std::string full = std::string(kind) + " failure: (" + expr + ") at " +
+                     loc.file_name() + ":" + std::to_string(loc.line()) +
+                     " in " + loc.function_name();
+  if (!msg.empty()) {
+    full += ": " + msg;
+  }
+  throw ContractViolation(full);
+}
+
+}  // namespace detail
+
+}  // namespace dbn
+
+/// Precondition check: throws dbn::ContractViolation with location info.
+#define DBN_REQUIRE(cond, msg)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::dbn::detail::contract_failure("precondition", #cond, (msg),  \
+                                      ::std::source_location::current()); \
+    }                                                                \
+  } while (false)
+
+/// Internal invariant check: same mechanics, different label so failures are
+/// attributable to library bugs rather than caller errors.
+#define DBN_ASSERT(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::dbn::detail::contract_failure("invariant", #cond, (msg),     \
+                                      ::std::source_location::current()); \
+    }                                                                \
+  } while (false)

@@ -1,0 +1,13 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dbn {
+
+double Rng::exponential(double rate) {
+  DBN_REQUIRE(rate > 0.0, "Rng::exponential requires a positive rate");
+  // Inverse-CDF sampling; 1 - uniform01() is in (0, 1], so log is finite.
+  return -std::log(1.0 - uniform01()) / rate;
+}
+
+}  // namespace dbn

@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation for simulations and tests.
+//
+// We use our own splitmix64/xoshiro256** implementation rather than
+// std::mt19937 so that streams are (a) cheap to seed, (b) cheap to split into
+// independent per-entity substreams (every simulated node gets its own), and
+// (c) reproducible across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// seeded through splitmix64 so that any 64-bit seed yields a well-mixed
+/// state. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      word = splitmix64(x);
+    }
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) {
+    DBN_REQUIRE(bound > 0, "Rng::below requires a positive bound");
+    const std::uint64_t threshold = (0 - bound) % bound;  // (2^64 - bound) % bound
+    while (true) {
+      const __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    DBN_REQUIRE(lo <= hi, "Rng::between requires lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Derive an independent substream; two streams forked with different tags
+  /// from the same parent are statistically independent.
+  Rng fork(std::uint64_t tag) const {
+    std::uint64_t mix =
+        state_[0] ^ rotl(state_[3], 13) ^ (tag * 0xbf58476d1ce4e5b9ull);
+    return Rng(splitmix64(mix));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace dbn

@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DBN_REQUIRE(!header_.empty(), "Table requires at least one column");
+}
+
+std::string Table::num(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DBN_REQUIRE(cells.size() == header_.size(),
+              "row width must match the header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out, const std::string& caption) const {
+  if (!caption.empty()) {
+    out << caption << "\n";
+  }
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+          << row[c];
+    }
+    out << "\n";
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+}  // namespace dbn

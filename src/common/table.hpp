@@ -1,0 +1,34 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// the paper's figures/tables as aligned text (one series per column).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dbn {
+
+/// Accumulates rows of string cells and prints them with aligned columns,
+/// a header rule, and an optional caption. Numeric formatting is left to
+/// the caller (use Table::num for a consistent default).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Formats a double with a fixed number of decimals (default 4).
+  static std::string num(double value, int decimals = 4);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Writes the caption (if any), header, rule, and rows to `out`.
+  void print(std::ostream& out, const std::string& caption = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dbn

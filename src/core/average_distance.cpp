@@ -1,0 +1,59 @@
+#include "core/average_distance.hpp"
+
+#include "common/contract.hpp"
+#include "core/distance.hpp"
+#include "debruijn/bfs.hpp"
+#include "debruijn/graph.hpp"
+
+namespace dbn {
+
+double undirected_average_exact_bfs(std::uint32_t radix, std::size_t k) {
+  const DeBruijnGraph graph(radix, k, Orientation::Undirected);
+  return average_distance(graph);
+}
+
+double undirected_average_exact_formula(std::uint32_t radix, std::size_t k) {
+  const std::uint64_t n = Word::vertex_count(radix, k);
+  double total = 0.0;
+  for (std::uint64_t xr = 0; xr < n; ++xr) {
+    const Word x = Word::from_rank(radix, k, xr);
+    for (std::uint64_t yr = 0; yr < n; ++yr) {
+      const Word y = Word::from_rank(radix, k, yr);
+      total += undirected_distance(x, y);
+    }
+  }
+  return total / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+double undirected_average_sampled(std::uint32_t radix, std::size_t k,
+                                  std::size_t samples, Rng& rng) {
+  DBN_REQUIRE(samples > 0, "undirected_average_sampled requires samples > 0");
+  double total = 0.0;
+  std::vector<Digit> xd(k), yd(k);
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < k; ++i) {
+      xd[i] = static_cast<Digit>(rng.below(radix));
+      yd[i] = static_cast<Digit>(rng.below(radix));
+    }
+    total += undirected_distance(Word(radix, xd), Word(radix, yd));
+  }
+  return total / static_cast<double>(samples);
+}
+
+std::vector<std::uint64_t> undirected_distance_histogram(std::uint32_t radix,
+                                                         std::size_t k) {
+  const DeBruijnGraph graph(radix, k, Orientation::Undirected);
+  const std::uint64_t n = graph.vertex_count();
+  std::vector<std::uint64_t> histogram(k + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::vector<int> dist = bfs_distances(graph, v);
+    for (std::uint64_t w = 0; w < n; ++w) {
+      DBN_ASSERT(dist[w] >= 0 && dist[w] <= static_cast<int>(k),
+                 "undirected distance lies in [0, k]");
+      ++histogram[static_cast<std::size_t>(dist[w])];
+    }
+  }
+  return histogram;
+}
+
+}  // namespace dbn

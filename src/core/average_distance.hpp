@@ -1,0 +1,35 @@
+// Average-distance machinery behind Figure 2 and equation (5).
+//
+// The paper gives the directed average in closed form (equation (5)) and
+// reports the undirected average numerically ("Numerical results are
+// provided in Figure 2"). We provide three estimators for the undirected
+// average: exact all-pairs BFS (ground truth, small N), exact enumeration
+// through the Theorem 2 formula (cross-check, small N), and uniform pair
+// sampling through the linear-time distance (scales to any k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace dbn {
+
+/// Exact average over all ordered pairs, all-pairs BFS. O(N^2 d).
+double undirected_average_exact_bfs(std::uint32_t radix, std::size_t k);
+
+/// Exact average over all ordered pairs, evaluating Theorem 2 for every
+/// pair with the O(k)-per-pair suffix-tree distance. O(N^2 k).
+double undirected_average_exact_formula(std::uint32_t radix, std::size_t k);
+
+/// Monte-Carlo estimate from `samples` uniform ordered pairs (with
+/// replacement). Standard error <= k / (2 sqrt(samples)).
+double undirected_average_sampled(std::uint32_t radix, std::size_t k,
+                                  std::size_t samples, Rng& rng);
+
+/// Exact histogram of the undirected distance over all ordered pairs
+/// (index = distance, 0..k), via all-pairs BFS. O(N^2 d).
+std::vector<std::uint64_t> undirected_distance_histogram(std::uint32_t radix,
+                                                         std::size_t k);
+
+}  // namespace dbn

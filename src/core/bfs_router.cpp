@@ -1,0 +1,33 @@
+#include "core/bfs_router.hpp"
+
+#include "common/contract.hpp"
+#include "debruijn/bfs.hpp"
+
+namespace dbn {
+
+Hop classify_edge(const DeBruijnGraph& graph, std::uint64_t from,
+                  std::uint64_t to) {
+  DBN_REQUIRE(graph.has_edge(from, to), "classify_edge: not an edge");
+  const std::uint64_t d = graph.radix();
+  const std::uint64_t top = graph.vertex_count() / d;
+  if (from % top == to / d) {  // to == from^-(a)
+    return Hop{ShiftType::Left, static_cast<Digit>(to % d)};
+  }
+  return Hop{ShiftType::Right, static_cast<Digit>(to / top)};
+}
+
+RoutingPath route_bfs(const DeBruijnGraph& graph, const Word& x, const Word& y) {
+  DBN_REQUIRE(x.radix() == graph.radix() && x.length() == graph.k() &&
+                  y.radix() == graph.radix() && y.length() == graph.k(),
+              "route_bfs: endpoints must belong to the graph");
+  const std::vector<std::uint64_t> ranks =
+      bfs_shortest_path(graph, x.rank(), y.rank());
+  DBN_ASSERT(!ranks.empty(), "DG(d,k) is connected");
+  RoutingPath path;
+  for (std::size_t i = 0; i + 1 < ranks.size(); ++i) {
+    path.push(classify_edge(graph, ranks[i], ranks[i + 1]));
+  }
+  return path;
+}
+
+}  // namespace dbn

@@ -1,0 +1,23 @@
+// Baseline router: breadth-first search over the explicit graph, converted
+// to the paper's (a,b) hop format. Exact but O(N·d) per query versus the
+// paper's O(k) / O(k^2) — the comparison benchmarks quantify the gap.
+#pragma once
+
+#include "core/path.hpp"
+#include "debruijn/graph.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// Shortest path from x to y in `graph` (whose orientation decides the move
+/// set) as a RoutingPath of concrete hops. x and y must belong to the
+/// graph. The graph must be small enough to enumerate.
+RoutingPath route_bfs(const DeBruijnGraph& graph, const Word& x, const Word& y);
+
+/// Classifies the edge from `from` to `to` as a hop (type + digit); used to
+/// convert vertex sequences into routing paths. When a move is realizable
+/// both as a left and as a right shift, the left shift is chosen.
+Hop classify_edge(const DeBruijnGraph& graph, std::uint64_t from,
+                  std::uint64_t to);
+
+}  // namespace dbn

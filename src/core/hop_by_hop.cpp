@@ -1,0 +1,61 @@
+#include "core/hop_by_hop.hpp"
+
+#include "common/contract.hpp"
+#include "core/distance.hpp"
+#include "strings/failure.hpp"
+
+namespace dbn {
+
+namespace {
+
+void check_pair(const Word& at, const Word& dst) {
+  DBN_REQUIRE(at.radix() == dst.radix() && at.length() == dst.length(),
+              "hop endpoints must share radix and length");
+  DBN_REQUIRE(!(at == dst), "already at the destination");
+}
+
+}  // namespace
+
+Hop next_hop_unidirectional(const Word& at, const Word& dst) {
+  check_pair(at, dst);
+  const int l = strings::suffix_prefix_overlap(at.symbols(), dst.symbols());
+  // Algorithm 1 sends y_{l+1} next; l < k because at != dst.
+  return Hop{ShiftType::Left, dst.digit(static_cast<std::size_t>(l))};
+}
+
+Hop next_hop_bidirectional(const Word& at, const Word& dst) {
+  check_pair(at, dst);
+  const int here = undirected_distance(at, dst);
+  for (const ShiftType type : {ShiftType::Left, ShiftType::Right}) {
+    for (Digit a = 0; a < at.radix(); ++a) {
+      const Word next =
+          type == ShiftType::Left ? at.left_shift(a) : at.right_shift(a);
+      if (undirected_distance(next, dst) == here - 1) {
+        return Hop{type, a};
+      }
+    }
+  }
+  DBN_ASSERT(false,
+             "a strictly improving neighbor exists on every shortest path");
+  return Hop{};
+}
+
+std::vector<Word> greedy_walk(const Word& src, const Word& dst,
+                              Orientation orientation) {
+  DBN_REQUIRE(src.radix() == dst.radix() && src.length() == dst.length(),
+              "walk endpoints must share radix and length");
+  std::vector<Word> visited = {src};
+  const std::size_t bound = 2 * src.length() + 2;  // > diameter: loop guard
+  while (!(visited.back() == dst)) {
+    DBN_ASSERT(visited.size() <= bound, "greedy walk failed to converge");
+    const Word& at = visited.back();
+    const Hop hop = orientation == Orientation::Directed
+                        ? next_hop_unidirectional(at, dst)
+                        : next_hop_bidirectional(at, dst);
+    visited.push_back(hop.type == ShiftType::Left ? at.left_shift(hop.digit)
+                                                  : at.right_shift(hop.digit));
+  }
+  return visited;
+}
+
+}  // namespace dbn

@@ -1,0 +1,37 @@
+// Hop-by-hop (distributed) routing.
+//
+// The paper routes at the source: the whole path rides in the message's
+// routing-path field. The distance functions enable an alternative that a
+// real network would also want: each site greedily forwards to any
+// neighbor strictly closer to the destination — possible in O(d k) per hop
+// precisely because Property 1 / Theorem 2 price every neighbor without
+// any global state. Greedy is exact here: some neighbor at distance
+// D(X,Y) - 1 always exists on a shortest path, so the walk takes exactly
+// D(X,Y) hops (asserted in the tests against BFS).
+#pragma once
+
+#include <vector>
+
+#include "core/path.hpp"
+#include "debruijn/graph.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// The next hop a uni-directional site takes towards dst: the left shift
+/// inserting the first digit Algorithm 1 would send. Requires at != dst.
+/// O(k).
+Hop next_hop_unidirectional(const Word& at, const Word& dst);
+
+/// The next hop a bi-directional site takes towards dst: the
+/// lexicographically first (type, digit) whose neighbor has undirected
+/// distance D(at,dst) - 1. Requires at != dst. O(d k).
+Hop next_hop_bidirectional(const Word& at, const Word& dst);
+
+/// Full greedy walk from src to dst using the per-orientation next-hop
+/// rule; returns the visited words, src first, dst last. The length
+/// (hops) equals the exact distance.
+std::vector<Word> greedy_walk(const Word& src, const Word& dst,
+                              Orientation orientation);
+
+}  // namespace dbn

@@ -1,0 +1,51 @@
+// Shared path construction for the bi-directional routers (the paper's
+// Algorithm 2 lines 5-9, reused verbatim by Algorithm 4).
+//
+// Both routers first compute the two candidate distances of Theorem 2:
+//   D1 = min_{i,j} (2k-1 + i - j - l_{i,j}(X,Y))   with minimizer (s1,t1,θ1)
+//   D2 = min_{i,j} (2k-1 - i + j - r_{i,j}(X,Y))   with minimizer (s2,t2,θ2)
+// and then emit one of three path shapes. The r-side is computed by running
+// the l-side machinery on the reversed words, using
+//   r_{i,j}(X,Y) = l_{k+1-i, k+1-j}(reverse(X), reverse(Y)).
+#pragma once
+
+#include "core/path.hpp"
+#include "debruijn/word.hpp"
+#include "strings/matching.hpp"
+
+namespace dbn {
+
+/// Whether the arbitrary digits (the paper's u_i / v_i) are emitted as the
+/// wildcard "*" (letting forwarding sites balance traffic) or as zeros.
+enum class WildcardMode { Concrete, Wildcards };
+
+/// A fully-determined shortest-path recipe for a bi-directional route.
+struct BidiPlan {
+  enum class Shape {
+    Trivial,     // paper line 6: k left shifts inserting y_1..y_k
+    LeftBlock,   // paper line 8: L^(s-1) R^(k-θ) L^(k-t), uses l_{s,t} = θ
+    RightBlock,  // paper line 9: R^(k-s) L^(k-θ) R^(t-1), uses r_{s,t} = θ
+  };
+  Shape shape = Shape::Trivial;
+  int distance = 0;  // path length == D(X,Y)
+  int s = 0, t = 0, theta = 0;  // 1-based minimizer for the chosen side
+};
+
+/// Maps a minimizer of the l-side problem on (reverse(X), reverse(Y)) back
+/// to an r-side minimizer on (X, Y): s = k+1-s', t = k+1-t', same theta and
+/// cost.
+strings::OverlapMin r_side_from_reversed(int k, const strings::OverlapMin& rev);
+
+/// Combines the two side minima into a plan, following Algorithm 2's
+/// lines 5-9 (trivial path when both candidates equal the diameter k;
+/// otherwise the smaller side, ties to the l-side).
+BidiPlan make_bidi_plan(int k, const strings::OverlapMin& l_side,
+                        const strings::OverlapMin& r_side);
+
+/// Emits the hops for `plan` (paper lines 6/8/9). The arbitrary digits are
+/// wildcards or zeros per `mode`. The result has length plan.distance and,
+/// applied to x under any wildcard resolution, reaches y.
+RoutingPath build_bidi_path(const Word& x, const Word& y, const BidiPlan& plan,
+                            WildcardMode mode);
+
+}  // namespace dbn

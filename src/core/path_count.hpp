@@ -1,0 +1,31 @@
+// Shortest-path counting: how many optimal routes exist between two sites.
+//
+// The paper's wildcard remark is about freedom *within* one optimal path
+// shape; this measures the freedom across all optimal paths — the route
+// diversity a balancing or fault-recovery layer can actually use
+// (bench_path_diversity quantifies it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/graph.hpp"
+
+namespace dbn {
+
+/// Number of distinct shortest paths from src to dst (counting vertex
+/// sequences). BFS-layered dynamic program, O(N d) per source. Counts can
+/// be large but fit 64 bits comfortably for the sizes this library
+/// enumerates (counts are bounded by (2d)^k).
+std::uint64_t count_shortest_paths(const DeBruijnGraph& graph,
+                                   std::uint64_t src, std::uint64_t dst);
+
+/// All counts from one source (index = destination rank), one BFS+DP.
+std::vector<std::uint64_t> count_shortest_paths_from(
+    const DeBruijnGraph& graph, std::uint64_t src);
+
+/// Mean number of shortest paths over ordered pairs with src != dst.
+/// O(N^2 d): enumerate-only.
+double mean_shortest_path_count(const DeBruijnGraph& graph);
+
+}  // namespace dbn

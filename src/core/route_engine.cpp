@@ -1,0 +1,136 @@
+#include "core/route_engine.hpp"
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+BidirectionalRouteEngine::BidirectionalRouteEngine(std::size_t max_k)
+    : max_k_(max_k) {
+  DBN_REQUIRE(max_k_ >= 1, "engine needs max_k >= 1");
+  x_.reserve(max_k_);
+  y_.reserve(max_k_);
+  xr_.reserve(max_k_);
+  yr_.reserve(max_k_);
+  border_.reserve(max_k_);
+}
+
+strings::OverlapMin BidirectionalRouteEngine::min_l_cost_inplace(
+    const std::vector<strings::Symbol>& x,
+    const std::vector<strings::Symbol>& y, std::size_t k) {
+  // Algorithm 3 rows with the border buffer reused across rows; logic
+  // identical to strings::min_l_cost (tested for equality).
+  const int ki = static_cast<int>(k);
+  strings::OverlapMin best;
+  best.cost = 2 * ki;
+  for (int i = 1; i <= ki; ++i) {
+    const std::size_t i0 = static_cast<std::size_t>(i - 1);
+    const std::size_t m = k - i0;  // pattern length
+    border_.assign(m, 0);
+    int q = 0;
+    for (std::size_t idx = 1; idx < m; ++idx) {
+      while (q > 0 && x[i0 + static_cast<std::size_t>(q)] != x[i0 + idx]) {
+        q = border_[static_cast<std::size_t>(q) - 1];
+      }
+      if (x[i0 + static_cast<std::size_t>(q)] == x[i0 + idx]) {
+        ++q;
+      }
+      border_[idx] = q;
+    }
+    q = 0;
+    for (int j = 1; j <= ki; ++j) {
+      const strings::Symbol c = y[static_cast<std::size_t>(j - 1)];
+      if (q == static_cast<int>(m)) {
+        q = border_[static_cast<std::size_t>(q) - 1];
+      }
+      while (q > 0 && x[i0 + static_cast<std::size_t>(q)] != c) {
+        q = border_[static_cast<std::size_t>(q) - 1];
+      }
+      if (x[i0 + static_cast<std::size_t>(q)] == c) {
+        ++q;
+      }
+      const int cost = 2 * ki - 1 + i - j - q;
+      if (cost < best.cost) {
+        best = strings::OverlapMin{cost, i, j, q};
+      }
+    }
+  }
+  DBN_ASSERT(best.cost <= ki, "l-side minimum must not exceed the diameter");
+  return best;
+}
+
+int BidirectionalRouteEngine::distance(const Word& x, const Word& y) {
+  DBN_REQUIRE(x.radix() == y.radix() && x.length() == y.length(),
+              "distance endpoints must share radix and length");
+  const std::size_t k = x.length();
+  DBN_REQUIRE(k <= max_k_, "word longer than the engine's max_k");
+  x_.assign(x.symbols().begin(), x.symbols().end());
+  y_.assign(y.symbols().begin(), y.symbols().end());
+  xr_.assign(x.symbols().rbegin(), x.symbols().rend());
+  yr_.assign(y.symbols().rbegin(), y.symbols().rend());
+  const int d1 = min_l_cost_inplace(x_, y_, k).cost;
+  const int d2 = min_l_cost_inplace(xr_, yr_, k).cost;
+  return std::min(d1, d2);
+}
+
+void BidirectionalRouteEngine::route_into(const Word& x, const Word& y,
+                                          WildcardMode mode,
+                                          RoutingPath& out) {
+  DBN_REQUIRE(x.radix() == y.radix() && x.length() == y.length(),
+              "route endpoints must share radix and length");
+  const std::size_t k = x.length();
+  DBN_REQUIRE(k <= max_k_, "word longer than the engine's max_k");
+  x_.assign(x.symbols().begin(), x.symbols().end());
+  y_.assign(y.symbols().begin(), y.symbols().end());
+  xr_.assign(x.symbols().rbegin(), x.symbols().rend());
+  yr_.assign(y.symbols().rbegin(), y.symbols().rend());
+  const strings::OverlapMin l_side = min_l_cost_inplace(x_, y_, k);
+  const strings::OverlapMin r_side = r_side_from_reversed(
+      static_cast<int>(k), min_l_cost_inplace(xr_, yr_, k));
+  const BidiPlan plan = make_bidi_plan(static_cast<int>(k), l_side, r_side);
+  // Emit hops directly (same shapes as build_bidi_path, minus allocation).
+  out = RoutingPath{};
+  const Digit arbitrary = (mode == WildcardMode::Wildcards) ? kWildcard : 0;
+  const auto yd = [&y](int i) {
+    return y.digit(static_cast<std::size_t>(i - 1));
+  };
+  const int ki = static_cast<int>(k);
+  switch (plan.shape) {
+    case BidiPlan::Shape::Trivial:
+      for (int i = 1; i <= ki; ++i) {
+        out.push({ShiftType::Left, yd(i)});
+      }
+      break;
+    case BidiPlan::Shape::LeftBlock:
+      for (int i = 0; i < plan.s - 1; ++i) {
+        out.push({ShiftType::Left, arbitrary});
+      }
+      for (int i = plan.t - plan.theta; i >= 1; --i) {
+        out.push({ShiftType::Right, yd(i)});
+      }
+      for (int i = 0; i < ki - plan.t; ++i) {
+        out.push({ShiftType::Right, arbitrary});
+      }
+      for (int i = plan.t + 1; i <= ki; ++i) {
+        out.push({ShiftType::Left, yd(i)});
+      }
+      break;
+    case BidiPlan::Shape::RightBlock:
+      for (int i = 0; i < ki - plan.s; ++i) {
+        out.push({ShiftType::Right, arbitrary});
+      }
+      for (int i = plan.t + plan.theta; i <= ki; ++i) {
+        out.push({ShiftType::Left, yd(i)});
+      }
+      for (int i = 0; i < plan.t - 1; ++i) {
+        out.push({ShiftType::Left, arbitrary});
+      }
+      for (int i = plan.t - 1; i >= 1; --i) {
+        out.push({ShiftType::Right, yd(i)});
+      }
+      break;
+  }
+  DBN_ASSERT(static_cast<int>(out.length()) == plan.distance,
+             "constructed path length must equal the planned distance");
+}
+
+}  // namespace dbn

@@ -1,0 +1,65 @@
+#include "core/routers.hpp"
+
+#include "common/contract.hpp"
+#include "core/common_substring.hpp"
+#include "strings/failure.hpp"
+#include "strings/matching.hpp"
+#include "strings/suffix_automaton.hpp"
+
+namespace dbn {
+
+namespace {
+
+void check_endpoints(const Word& x, const Word& y) {
+  DBN_REQUIRE(x.radix() == y.radix() && x.length() == y.length(),
+              "route endpoints must share radix and length");
+}
+
+using SideMinFn = strings::OverlapMin (*)(strings::SymbolView,
+                                          strings::SymbolView);
+
+RoutingPath route_bidirectional(const Word& x, const Word& y,
+                                WildcardMode mode, SideMinFn side_min) {
+  check_endpoints(x, y);
+  const int k = static_cast<int>(x.length());
+  const Word xr = x.reversed();
+  const Word yr = y.reversed();
+  const strings::OverlapMin l_side = side_min(x.symbols(), y.symbols());
+  const strings::OverlapMin r_side =
+      r_side_from_reversed(k, side_min(xr.symbols(), yr.symbols()));
+  const BidiPlan plan = make_bidi_plan(k, l_side, r_side);
+  return build_bidi_path(x, y, plan, mode);
+}
+
+}  // namespace
+
+RoutingPath route_unidirectional(const Word& x, const Word& y) {
+  check_endpoints(x, y);
+  if (x == y) {
+    return RoutingPath{};
+  }
+  const int l = strings::suffix_prefix_overlap(x.symbols(), y.symbols());
+  RoutingPath path;
+  for (std::size_t i = static_cast<std::size_t>(l); i < y.length(); ++i) {
+    path.push({ShiftType::Left, y.digit(i)});
+  }
+  return path;
+}
+
+RoutingPath route_bidirectional_mp(const Word& x, const Word& y,
+                                   WildcardMode mode) {
+  return route_bidirectional(x, y, mode, &strings::min_l_cost);
+}
+
+RoutingPath route_bidirectional_suffix_tree(const Word& x, const Word& y,
+                                            WildcardMode mode) {
+  return route_bidirectional(x, y, mode, &min_l_cost_suffix_tree);
+}
+
+RoutingPath route_bidirectional_suffix_automaton(const Word& x, const Word& y,
+                                                 WildcardMode mode) {
+  return route_bidirectional(x, y, mode,
+                             &strings::min_l_cost_suffix_automaton);
+}
+
+}  // namespace dbn

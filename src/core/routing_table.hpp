@@ -1,0 +1,47 @@
+// Compiled next-hop routing tables — the alternative the paper's O(k)
+// algorithms make unnecessary.
+//
+// A conventional interconnect stores, per site, a next-hop entry for every
+// destination: O(N) words of state per site, O(N^2) total, built with one
+// reverse BFS per destination. The paper's point is that de Bruijn
+// networks need none of it: the next hop is computable from the two
+// addresses alone in O(k) = O(log N). This module builds the tables so the
+// trade-off can be measured (bench_routing_tables).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/path.hpp"
+#include "debruijn/graph.hpp"
+
+namespace dbn {
+
+/// Full next-hop table for a de Bruijn network: entry (src, dst) is a hop
+/// whose application moves src one step along a shortest path to dst.
+class RoutingTable {
+ public:
+  /// Builds with one BFS per destination. O(N^2 d) time, O(N^2) memory.
+  /// The graph must be materializable.
+  explicit RoutingTable(const DeBruijnGraph& graph);
+
+  /// The compiled next hop; src != dst.
+  Hop next_hop(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Walks the table from src to dst; returns the hop count (== the exact
+  /// distance, asserted in tests).
+  int walk_length(std::uint64_t src, std::uint64_t dst) const;
+
+  /// Bytes of table state (the O(N^2) the formulas avoid).
+  std::size_t memory_bytes() const;
+
+  std::uint64_t vertex_count() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t radix_;
+  // Packed entries: type in the top bit, digit below. Indexed src * N + dst.
+  std::vector<std::uint32_t> entries_;
+};
+
+}  // namespace dbn

@@ -1,0 +1,117 @@
+#include "debruijn/bfs.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+namespace {
+
+std::vector<int> bfs_impl(const DeBruijnGraph& graph, std::uint64_t source,
+                          const std::vector<bool>* blocked) {
+  const std::uint64_t n = graph.vertex_count();
+  DBN_REQUIRE(source < n, "bfs: source rank out of range");
+  DBN_REQUIRE(blocked == nullptr || !(*blocked)[source],
+              "bfs: source vertex is blocked");
+  std::vector<int> dist(n, -1);
+  std::deque<std::uint64_t> frontier;
+  dist[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : graph.neighbors(v)) {
+      if (dist[w] != -1 || (blocked != nullptr && (*blocked)[w])) {
+        continue;
+      }
+      dist[w] = dist[v] + 1;
+      frontier.push_back(w);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> bfs_distances(const DeBruijnGraph& graph, std::uint64_t source) {
+  return bfs_impl(graph, source, nullptr);
+}
+
+std::vector<int> bfs_distances_avoiding(const DeBruijnGraph& graph,
+                                        std::uint64_t source,
+                                        const std::vector<bool>& blocked) {
+  DBN_REQUIRE(blocked.size() == graph.vertex_count(),
+              "bfs: blocked mask size must equal the vertex count");
+  return bfs_impl(graph, source, &blocked);
+}
+
+std::vector<std::uint64_t> bfs_shortest_path(const DeBruijnGraph& graph,
+                                             std::uint64_t source,
+                                             std::uint64_t destination) {
+  const std::uint64_t n = graph.vertex_count();
+  DBN_REQUIRE(source < n && destination < n, "bfs: rank out of range");
+  // Parent-pointer BFS from the source, stopping at the destination.
+  std::vector<std::int64_t> parent(n, -2);  // -2 unvisited, -1 root
+  std::deque<std::uint64_t> frontier;
+  parent[source] = -1;
+  frontier.push_back(source);
+  while (!frontier.empty() && parent[destination] == -2) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : graph.neighbors(v)) {
+      if (parent[w] != -2) {
+        continue;
+      }
+      parent[w] = static_cast<std::int64_t>(v);
+      frontier.push_back(w);
+    }
+  }
+  if (parent[destination] == -2) {
+    return {};
+  }
+  std::vector<std::uint64_t> path;
+  for (std::uint64_t v = destination;; v = static_cast<std::uint64_t>(parent[v])) {
+    path.push_back(v);
+    if (parent[v] == -1) {
+      break;
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int eccentricity(const DeBruijnGraph& graph, std::uint64_t source) {
+  const std::vector<int> dist = bfs_distances(graph, source);
+  int ecc = -1;
+  for (std::uint64_t v = 0; v < graph.vertex_count(); ++v) {
+    if (v != source) {
+      ecc = std::max(ecc, dist[v]);
+    }
+  }
+  return ecc;
+}
+
+int diameter(const DeBruijnGraph& graph) {
+  int diam = -1;
+  for (std::uint64_t v = 0; v < graph.vertex_count(); ++v) {
+    diam = std::max(diam, eccentricity(graph, v));
+  }
+  return diam;
+}
+
+double average_distance(const DeBruijnGraph& graph) {
+  const std::uint64_t n = graph.vertex_count();
+  double total = 0.0;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    const std::vector<int> dist = bfs_distances(graph, v);
+    for (std::uint64_t w = 0; w < n; ++w) {
+      DBN_ASSERT(dist[w] >= 0, "DG(d,k) is strongly connected");
+      total += dist[w];
+    }
+  }
+  return total / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+}  // namespace dbn

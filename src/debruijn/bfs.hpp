@@ -1,0 +1,41 @@
+// Breadth-first search over DG(d,k): the exact ground truth the paper's
+// closed-form distance functions are validated against, and the baseline
+// router for the benchmarks (O(N d) per source versus the paper's O(k)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/graph.hpp"
+
+namespace dbn {
+
+/// Distances (in moves) from `source` to every vertex; entry -1 means
+/// unreachable. Enumerates the graph: requires d^k to fit in memory.
+std::vector<int> bfs_distances(const DeBruijnGraph& graph, std::uint64_t source);
+
+/// Like bfs_distances but avoiding the vertices marked true in `blocked`
+/// (used by the fault-tolerance experiments). `blocked[source]` must be
+/// false.
+std::vector<int> bfs_distances_avoiding(const DeBruijnGraph& graph,
+                                        std::uint64_t source,
+                                        const std::vector<bool>& blocked);
+
+/// A shortest vertex sequence source -> ... -> destination (inclusive), or
+/// an empty vector if unreachable.
+std::vector<std::uint64_t> bfs_shortest_path(const DeBruijnGraph& graph,
+                                             std::uint64_t source,
+                                             std::uint64_t destination);
+
+/// Maximum distance from `source` (ignores unreachable vertices; returns -1
+/// if nothing else is reachable).
+int eccentricity(const DeBruijnGraph& graph, std::uint64_t source);
+
+/// Maximum distance over all ordered pairs; the paper proves this equals k.
+int diameter(const DeBruijnGraph& graph);
+
+/// Average of D(X,Y) over all ordered pairs (X,Y), X == Y included with
+/// D = 0 — the convention under which equation (5) holds exactly.
+double average_distance(const DeBruijnGraph& graph);
+
+}  // namespace dbn

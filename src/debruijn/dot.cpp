@@ -1,0 +1,48 @@
+#include "debruijn/dot.hpp"
+
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+std::string to_dot(const DeBruijnGraph& graph, bool word_labels,
+                   std::uint64_t max_vertices) {
+  DBN_REQUIRE(graph.vertex_count() <= max_vertices,
+              "to_dot: graph too large to render (raise max_vertices)");
+  const bool directed = graph.orientation() == Orientation::Directed;
+  std::ostringstream os;
+  os << (directed ? "digraph" : "graph") << " debruijn {\n";
+  os << "  // DG(" << graph.radix() << "," << graph.k() << "), "
+     << graph.vertex_count() << " vertices\n";
+
+  const auto name = [&](std::uint64_t rank) {
+    if (!word_labels) {
+      return std::to_string(rank);
+    }
+    const Word w = graph.word(rank);
+    std::string s = "\"";
+    for (std::size_t i = 0; i < w.length(); ++i) {
+      s += std::to_string(w.digit(i));
+    }
+    s += "\"";
+    return s;
+  };
+
+  for (std::uint64_t v = 0; v < graph.vertex_count(); ++v) {
+    os << "  " << name(v) << ";\n";
+  }
+  const char* arrow = directed ? " -> " : " -- ";
+  for (std::uint64_t v = 0; v < graph.vertex_count(); ++v) {
+    for (const std::uint64_t w : graph.neighbors(v)) {
+      if (!directed && w < v) {
+        continue;  // each undirected edge once
+      }
+      os << "  " << name(v) << arrow << name(w) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dbn

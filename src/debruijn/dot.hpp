@@ -1,0 +1,19 @@
+// Graphviz DOT export of de Bruijn graphs — small quality-of-life tool for
+// downstream users (render Figure 1 and friends directly).
+#pragma once
+
+#include <string>
+
+#include "debruijn/graph.hpp"
+
+namespace dbn {
+
+/// Renders the graph as Graphviz DOT. Directed graphs become `digraph`
+/// with one arc per left shift (self-loops included); undirected graphs
+/// become `graph` with deduplicated edges. Vertices are labeled with their
+/// digit strings ("011") when `word_labels` is set, ranks otherwise.
+/// The graph must be materializable (guarded like adjacency()).
+std::string to_dot(const DeBruijnGraph& graph, bool word_labels = true,
+                   std::uint64_t max_vertices = 1u << 12);
+
+}  // namespace dbn

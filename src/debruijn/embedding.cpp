@@ -1,0 +1,47 @@
+#include "debruijn/embedding.hpp"
+
+#include "common/contract.hpp"
+#include "debruijn/sequence.hpp"
+
+namespace dbn {
+
+std::vector<std::uint64_t> ring_embedding(std::uint32_t radix, std::size_t k) {
+  return hamiltonian_cycle(radix, k);
+}
+
+std::vector<std::uint64_t> linear_array_embedding(std::uint32_t radix,
+                                                  std::size_t k) {
+  return hamiltonian_cycle(radix, k);  // drop the wrap-around edge
+}
+
+std::vector<std::uint64_t> complete_binary_tree_embedding(std::size_t k) {
+  DBN_REQUIRE(k >= 1 && k < 63, "tree embedding requires 1 <= k < 63");
+  const std::uint64_t n = std::uint64_t{1} << k;
+  std::vector<std::uint64_t> node(n, 0);
+  // Heap index n_i written in binary, left-padded to k bits, is the vertex
+  // word; the child edges append one bit, which is exactly a left shift
+  // because every internal index is < 2^(k-1) (leading bit 0 gets dropped).
+  for (std::uint64_t i = 1; i < n; ++i) {
+    node[i] = i;
+  }
+  return node;
+}
+
+std::vector<Word> shuffle_emulation(const Word& w) {
+  DBN_REQUIRE(w.radix() == 2, "shuffle-exchange emulation is binary (d = 2)");
+  return {w, w.left_shift(w.digit(0))};
+}
+
+std::vector<Word> exchange_emulation(const Word& w) {
+  DBN_REQUIRE(w.radix() == 2, "shuffle-exchange emulation is binary (d = 2)");
+  const std::size_t k = w.length();
+  const Digit last = w.digit(k - 1);
+  // Right shift (prepend the to-be-dropped last bit, any digit works), then
+  // left shift re-appending the flipped bit: (x1..xk) -> (xk, x1..x_{k-1})
+  // -> (x1..x_{k-1}, ¬xk). Both moves are undirected de Bruijn edges.
+  const Word mid = w.right_shift(last);
+  const Word target = mid.left_shift(1 - last);
+  return {w, mid, target};
+}
+
+}  // namespace dbn

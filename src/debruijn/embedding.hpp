@@ -1,0 +1,44 @@
+// Embeddings of standard architectures into the de Bruijn network.
+//
+// The paper's introduction motivates DN(d,k) by its versatility (Samatham &
+// Pradhan 1989): the binary network can emulate linear arrays, rings,
+// complete binary trees, and shuffle-exchange networks. This module builds
+// those embeddings explicitly so the claims can be checked and demonstrated
+// (see examples/embeddings_tour.cpp and tests/test_embedding.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/graph.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// Ring of d^k nodes embedded with dilation 1 (a Hamiltonian cycle):
+/// ring position i -> the returned rank at index i; consecutive positions
+/// (cyclically) are adjacent in the directed (hence also undirected) graph.
+std::vector<std::uint64_t> ring_embedding(std::uint32_t radix, std::size_t k);
+
+/// Linear array of d^k nodes with dilation 1 (a Hamiltonian path).
+std::vector<std::uint64_t> linear_array_embedding(std::uint32_t radix,
+                                                  std::size_t k);
+
+/// Complete binary tree with 2^k - 1 nodes embedded in DG(2,k) with
+/// dilation 1 (Samatham–Pradhan): heap index n in [1, 2^k) maps to the
+/// vertex whose k-bit word is the binary representation of n; the edges
+/// n -> 2n and n -> 2n+1 are left-shift edges. Index 0 of the returned
+/// vector is unused (heap indexing).
+std::vector<std::uint64_t> complete_binary_tree_embedding(std::size_t k);
+
+/// One shuffle move of the shuffle-exchange network SE(k) (w -> rotate
+/// left), emulated as a single de Bruijn hop: returns {w, sigma(w)}.
+std::vector<Word> shuffle_emulation(const Word& w);
+
+/// One exchange move of SE(k) (flip the last bit), emulated with dilation 2:
+/// returns {w, intermediate, w with last bit flipped}; consecutive words are
+/// adjacent in the undirected DG(2,k) (or equal, for the degenerate shift at
+/// a constant word).
+std::vector<Word> exchange_emulation(const Word& w);
+
+}  // namespace dbn

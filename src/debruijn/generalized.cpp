@@ -1,0 +1,78 @@
+#include "debruijn/generalized.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+GeneralizedDeBruijn::GeneralizedDeBruijn(std::uint64_t n, std::uint32_t radix)
+    : n_(n), radix_(radix) {
+  DBN_REQUIRE(n_ >= 1, "GB(n,d) requires n >= 1");
+  DBN_REQUIRE(radix_ >= 2, "GB(n,d) requires d >= 2");
+  DBN_REQUIRE(n_ <= (std::uint64_t{1} << 40) / radix_,
+              "GB(n,d): d*n must not overflow the rank arithmetic");
+}
+
+std::vector<std::uint64_t> GeneralizedDeBruijn::out_neighbors(
+    std::uint64_t v) const {
+  DBN_REQUIRE(v < n_, "out_neighbors: vertex out of range");
+  std::vector<std::uint64_t> out;
+  out.reserve(radix_);
+  for (std::uint32_t a = 0; a < radix_; ++a) {
+    out.push_back((v * radix_ + a) % n_);
+  }
+  return out;
+}
+
+int GeneralizedDeBruijn::eccentricity(std::uint64_t v) const {
+  DBN_REQUIRE(v < n_, "eccentricity: vertex out of range");
+  std::vector<int> dist(n_, -1);
+  std::deque<std::uint64_t> frontier;
+  dist[v] = 0;
+  frontier.push_back(v);
+  std::uint64_t reached = 1;
+  int ecc = 0;
+  while (!frontier.empty()) {
+    const std::uint64_t u = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : out_neighbors(u)) {
+      if (dist[w] != -1) {
+        continue;
+      }
+      dist[w] = dist[u] + 1;
+      ecc = std::max(ecc, dist[w]);
+      ++reached;
+      frontier.push_back(w);
+    }
+  }
+  return reached == n_ ? ecc : -1;
+}
+
+int GeneralizedDeBruijn::diameter() const {
+  int diam = 0;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    const int ecc = eccentricity(v);
+    if (ecc < 0) {
+      return -1;
+    }
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+int directed_diameter_lower_bound(std::uint64_t n, std::uint32_t radix) {
+  DBN_REQUIRE(n >= 1 && radix >= 2, "bound requires n >= 1, d >= 2");
+  std::uint64_t covered = 1;  // the vertex itself
+  std::uint64_t frontier = 1;
+  int depth = 0;
+  while (covered < n) {
+    frontier *= radix;
+    covered += frontier;
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace dbn

@@ -1,0 +1,45 @@
+// Generalized de Bruijn graphs GB(n,d) (Imase & Itoh 1981, the paper's
+// reference [4] for "de Bruijn graphs are nearly optimal graphs that
+// minimize the diameter, given the number of vertices and the degree").
+//
+// GB(n,d) has vertices 0..n-1 and arcs i -> (d*i + a) mod n, a in [0,d).
+// For n = d^k it *is* the directed DG(d,k) under the rank encoding. Imase
+// and Itoh proved diameter(GB(n,d)) <= ceil(log_d n), within one of the
+// Moore-style lower bound for out-degree-d digraphs — the optimality claim
+// bench_diameter_optimality measures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbn {
+
+/// Implicit generalized de Bruijn digraph.
+class GeneralizedDeBruijn {
+ public:
+  GeneralizedDeBruijn(std::uint64_t n, std::uint32_t radix);
+
+  std::uint64_t vertex_count() const { return n_; }
+  std::uint32_t radix() const { return radix_; }
+
+  /// The d out-neighbors (d*v + a) mod n, a = 0..d-1 (with multiplicity).
+  std::vector<std::uint64_t> out_neighbors(std::uint64_t v) const;
+
+  /// Max distance from v to any vertex, or -1 if some vertex is
+  /// unreachable. O(n d).
+  int eccentricity(std::uint64_t v) const;
+
+  /// Max eccentricity over all sources; -1 if not strongly connected.
+  /// O(n^2 d) — intended for the optimality sweep, keep n modest.
+  int diameter() const;
+
+ private:
+  std::uint64_t n_;
+  std::uint32_t radix_;
+};
+
+/// The Moore-style lower bound on the diameter of any digraph with n
+/// vertices and out-degree d: the smallest D with 1 + d + ... + d^D >= n.
+int directed_diameter_lower_bound(std::uint64_t n, std::uint32_t radix);
+
+}  // namespace dbn

@@ -1,0 +1,104 @@
+#include "debruijn/kautz.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+KautzGraph::KautzGraph(std::uint32_t degree, std::size_t k)
+    : degree_(degree), k_(k) {
+  DBN_REQUIRE(degree_ >= 2 && k_ >= 1, "KautzGraph requires d >= 2, k >= 1");
+  // N = (d+1) * d^(k-1), overflow-checked.
+  std::uint64_t n = degree_ + 1;
+  for (std::size_t i = 1; i < k_; ++i) {
+    DBN_REQUIRE(n <= std::numeric_limits<std::uint64_t>::max() / degree_,
+                "Kautz vertex count does not fit in 64 bits");
+    n *= degree_;
+  }
+  n_ = n;
+}
+
+Word KautzGraph::word(std::uint64_t rank) const {
+  DBN_REQUIRE(rank < n_, "KautzGraph::word: rank out of range");
+  // Peel offsets from the least significant end, then the leading digit.
+  std::vector<Digit> offsets(k_ - 1);
+  for (std::size_t i = k_ - 1; i-- > 0;) {
+    offsets[i] = static_cast<Digit>(rank % degree_);
+    rank /= degree_;
+  }
+  std::vector<Digit> digits(k_);
+  digits[0] = static_cast<Digit>(rank);  // < d+1
+  for (std::size_t i = 1; i < k_; ++i) {
+    digits[i] = (digits[i - 1] + offsets[i - 1] + 1) % (degree_ + 1);
+  }
+  return Word(degree_ + 1, std::move(digits));
+}
+
+std::uint64_t KautzGraph::rank(const Word& w) const {
+  DBN_REQUIRE(w.radix() == degree_ + 1 && w.length() == k_,
+              "KautzGraph::rank: word does not belong to this graph");
+  std::uint64_t r = w.digit(0);
+  for (std::size_t i = 1; i < k_; ++i) {
+    DBN_REQUIRE(w.digit(i) != w.digit(i - 1),
+                "KautzGraph::rank: adjacent digits must differ");
+    const std::uint32_t offset =
+        (w.digit(i) + degree_ + 1 - w.digit(i - 1)) % (degree_ + 1) - 1;
+    r = r * degree_ + offset;
+  }
+  return r;
+}
+
+std::vector<std::uint64_t> KautzGraph::out_neighbors(std::uint64_t v) const {
+  const Word w = word(v);
+  const Digit last = w.digit(k_ - 1);
+  std::vector<std::uint64_t> out;
+  out.reserve(degree_);
+  for (Digit a = 0; a <= degree_; ++a) {
+    if (a == last) {
+      continue;
+    }
+    out.push_back(rank(w.left_shift(a)));
+  }
+  return out;
+}
+
+int KautzGraph::eccentricity(std::uint64_t v) const {
+  DBN_REQUIRE(v < n_, "eccentricity: vertex out of range");
+  std::vector<int> dist(n_, -1);
+  std::deque<std::uint64_t> frontier;
+  dist[v] = 0;
+  frontier.push_back(v);
+  std::uint64_t reached = 1;
+  int ecc = 0;
+  while (!frontier.empty()) {
+    const std::uint64_t u = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : out_neighbors(u)) {
+      if (dist[w] != -1) {
+        continue;
+      }
+      dist[w] = dist[u] + 1;
+      ecc = std::max(ecc, dist[w]);
+      ++reached;
+      frontier.push_back(w);
+    }
+  }
+  return reached == n_ ? ecc : -1;
+}
+
+int KautzGraph::diameter() const {
+  int diam = 0;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    const int ecc = eccentricity(v);
+    if (ecc < 0) {
+      return -1;
+    }
+    diam = std::max(diam, ecc);
+  }
+  return diam;
+}
+
+}  // namespace dbn

@@ -1,0 +1,50 @@
+// Kautz graphs K(d,k): the de Bruijn family's sibling, with
+// N = (d+1)·d^(k-1) vertices of out-degree d and diameter k — strictly
+// more vertices than DG(d,k) at the same degree and diameter, i.e. the
+// natural yardstick for the introduction's near-optimality discussion.
+//
+// Vertices are words of length k over an alphabet of d+1 symbols in which
+// adjacent digits differ; arcs are left shifts X -> (x_2,...,x_k,a) with
+// a != x_k. Ranks encode the first digit in [0,d] and each subsequent
+// digit as its offset (1..d) from the previous one, giving a dense
+// [0, N) range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// Implicit Kautz digraph K(d,k).
+class KautzGraph {
+ public:
+  KautzGraph(std::uint32_t degree, std::size_t k);
+
+  std::uint32_t degree() const { return degree_; }
+  std::size_t k() const { return k_; }
+  std::uint64_t vertex_count() const { return n_; }
+
+  /// The word (digits over [0, d]) of a rank; adjacent digits differ.
+  Word word(std::uint64_t rank) const;
+
+  /// Inverse of word().
+  std::uint64_t rank(const Word& w) const;
+
+  /// The d out-neighbors (left shifts appending a != last digit).
+  std::vector<std::uint64_t> out_neighbors(std::uint64_t rank) const;
+
+  /// Max distance from v (BFS); -1 if something is unreachable.
+  int eccentricity(std::uint64_t v) const;
+
+  /// Max eccentricity over all sources (Kautz: exactly k). O(N^2 d).
+  int diameter() const;
+
+ private:
+  std::uint32_t degree_;
+  std::size_t k_;
+  std::uint64_t n_;
+};
+
+}  // namespace dbn

@@ -1,0 +1,42 @@
+#include "debruijn/kautz_routing.hpp"
+
+#include "common/contract.hpp"
+#include "strings/failure.hpp"
+
+namespace dbn {
+
+namespace {
+
+void check_kautz_words(const KautzGraph& graph, const Word& x, const Word& y) {
+  DBN_REQUIRE(x.radix() == graph.degree() + 1 && x.length() == graph.k() &&
+                  y.radix() == graph.degree() + 1 && y.length() == graph.k(),
+              "endpoints must belong to this Kautz graph");
+  for (std::size_t i = 1; i < x.length(); ++i) {
+    DBN_REQUIRE(x.digit(i) != x.digit(i - 1) && y.digit(i) != y.digit(i - 1),
+                "endpoints must be Kautz words (adjacent digits differ)");
+  }
+}
+
+}  // namespace
+
+int kautz_directed_distance(const KautzGraph& graph, const Word& x,
+                            const Word& y) {
+  check_kautz_words(graph, x, y);
+  return static_cast<int>(graph.k()) -
+         strings::suffix_prefix_overlap(x.symbols(), y.symbols());
+}
+
+RoutingPath kautz_route(const KautzGraph& graph, const Word& x, const Word& y) {
+  check_kautz_words(graph, x, y);
+  if (x == y) {
+    return RoutingPath{};
+  }
+  const int l = strings::suffix_prefix_overlap(x.symbols(), y.symbols());
+  RoutingPath path;
+  for (std::size_t i = static_cast<std::size_t>(l); i < y.length(); ++i) {
+    path.push({ShiftType::Left, y.digit(i)});
+  }
+  return path;
+}
+
+}  // namespace dbn

@@ -1,0 +1,32 @@
+// Optimal uni-directional routing in the Kautz network — the Property 1
+// machinery carried over to the sibling family (an extension the paper
+// does not treat; proof sketch below).
+//
+// In K(d,k) the left shift X -> (x_2,...,x_k,a) requires a != x_k. The
+// trivial overlap path that pins down Property 1 survives verbatim:
+// with l = max{ s : x_{k-s+1}..x_k = y_1..y_s }, the walk inserting
+// y_{l+1},...,y_k is valid, because at the junction either l >= 1 and
+// x_k = y_l != y_{l+1} (Y is a Kautz word), or l = 0 and x_k != y_1
+// (otherwise the overlap would be at least 1); every other junction lies
+// inside Y, where adjacent digits differ by definition. The lower bound
+// argument is unchanged (any j-step walk forces y_1..y_{k-j} =
+// x_{j+1}..x_k). Hence D(X,Y) = k - l exactly as in DG(d,k).
+#pragma once
+
+#include "core/path.hpp"
+#include "debruijn/kautz.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// Exact distance in the directed Kautz graph K(d,k): k minus the longest
+/// suffix/prefix overlap. O(k) via the Morris-Pratt scan. Both words must
+/// be valid Kautz words of the graph.
+int kautz_directed_distance(const KautzGraph& graph, const Word& x,
+                            const Word& y);
+
+/// Shortest uni-directional path in K(d,k) (left shifts only), the
+/// Algorithm 1 analog. Every emitted hop is a legal Kautz move.
+RoutingPath kautz_route(const KautzGraph& graph, const Word& x, const Word& y);
+
+}  // namespace dbn

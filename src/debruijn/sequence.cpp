@@ -1,0 +1,147 @@
+#include "debruijn/sequence.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "debruijn/graph.hpp"
+
+namespace dbn {
+
+std::vector<Digit> de_bruijn_sequence(std::uint32_t radix, std::size_t n) {
+  DBN_REQUIRE(radix >= 2 && n >= 1, "de_bruijn_sequence requires d >= 2, n >= 1");
+  const std::uint64_t expected = Word::vertex_count(radix, n);
+  // FKM: concatenate, in lexicographic order, every Lyndon word over
+  // [0, d) whose length divides n. The classic iterative formulation scans
+  // candidate necklaces a[1..t].
+  std::vector<Digit> sequence;
+  sequence.reserve(expected);
+  std::vector<Digit> a(n + 1, 0);
+  // Iterative necklace generation (Duval's algorithm shape).
+  std::size_t t = 1;
+  while (true) {
+    if (n % t == 0) {
+      sequence.insert(sequence.end(), a.begin() + 1,
+                      a.begin() + static_cast<std::ptrdiff_t>(t) + 1);
+    }
+    // Find the next pre-necklace.
+    std::size_t j = t;
+    // Extend periodically to length n, then increment from the right.
+    while (j < n) {
+      ++j;
+      a[j] = a[j - t];
+    }
+    while (j >= 1 && a[j] == radix - 1) {
+      --j;
+    }
+    if (j == 0) {
+      break;
+    }
+    ++a[j];
+    t = j;
+  }
+  DBN_ASSERT(sequence.size() == expected,
+             "FKM must produce exactly d^n digits");
+  return sequence;
+}
+
+std::vector<Digit> de_bruijn_sequence_hierholzer(std::uint32_t radix,
+                                                 std::size_t n) {
+  DBN_REQUIRE(radix >= 2 && n >= 1,
+              "de_bruijn_sequence_hierholzer requires d >= 2, n >= 1");
+  if (n == 1) {
+    std::vector<Digit> seq(radix);
+    for (Digit a = 0; a < radix; ++a) {
+      seq[a] = a;
+    }
+    return seq;
+  }
+  // Euler cycle over DG(d, n-1): vertices are (n-1)-windows, the arc
+  // labeled a leaves v toward left_shift(v, a). Iterative Hierholzer with
+  // per-vertex next-unused-arc counters.
+  const std::uint64_t vertices = Word::vertex_count(radix, n - 1);
+  const std::uint64_t expected = vertices * radix;
+  const DeBruijnGraph graph(radix, n - 1, Orientation::Directed);
+  std::vector<Digit> next_arc(vertices, 0);
+  std::vector<std::pair<std::uint64_t, Digit>> stack;  // (vertex, arc taken)
+  std::vector<Digit> cycle_labels;
+  cycle_labels.reserve(expected);
+  stack.reserve(expected + 1);
+  stack.emplace_back(0, 0);  // start at 0^(n-1); arc label unused for root
+  while (!stack.empty()) {
+    const std::uint64_t v = stack.back().first;
+    if (next_arc[v] < radix) {
+      const Digit a = next_arc[v]++;
+      stack.emplace_back(graph.left_shift_rank(v, a), a);
+    } else {
+      // Retreat: the arc that led here joins the cycle (reverse order).
+      cycle_labels.push_back(stack.back().second);
+      stack.pop_back();
+    }
+  }
+  cycle_labels.pop_back();  // drop the root's dummy label
+  DBN_ASSERT(cycle_labels.size() == expected,
+             "Euler cycle must use every arc exactly once");
+  std::reverse(cycle_labels.begin(), cycle_labels.end());
+  return cycle_labels;
+}
+
+std::vector<Digit> de_bruijn_sequence_greedy(std::uint32_t radix,
+                                             std::size_t n) {
+  DBN_REQUIRE(radix >= 2 && n >= 1,
+              "de_bruijn_sequence_greedy requires d >= 2, n >= 1");
+  const std::uint64_t count = Word::vertex_count(radix, n);
+  const std::uint64_t window_mod = count;  // d^n
+  std::vector<bool> seen(count, false);
+  // Start on the all-zero window (which the initial zeros establish).
+  std::vector<Digit> seq(n - 1, 0);
+  std::uint64_t window = 0;  // value of the last n-1 digits (times d later)
+  std::uint64_t placed = 0;
+  while (placed < count) {
+    bool advanced = false;
+    for (Digit a = radix; a-- > 0;) {  // prefer the largest digit
+      const std::uint64_t candidate = (window * radix + a) % window_mod;
+      if (!seen[candidate]) {
+        seen[candidate] = true;
+        seq.push_back(a);
+        window = candidate % (window_mod / radix);
+        ++placed;
+        advanced = true;
+        break;
+      }
+    }
+    DBN_ASSERT(advanced, "prefer-largest never gets stuck (de Bruijn 1946)");
+  }
+  // Drop the n-1 priming zeros; the cyclic sequence is the remainder
+  // (which ends with n-1 zeros, closing the initial window).
+  seq.erase(seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(n - 1));
+  DBN_ASSERT(seq.size() == count, "greedy sequence has length d^n");
+  return seq;
+}
+
+std::vector<std::uint64_t> hamiltonian_cycle_from_sequence(
+    std::uint32_t radix, std::size_t k, const std::vector<Digit>& sequence) {
+  const std::uint64_t n = Word::vertex_count(radix, k);
+  DBN_REQUIRE(sequence.size() == n,
+              "sequence length must be d^k for a Hamiltonian cycle");
+  const DeBruijnGraph graph(radix, k, Orientation::Directed);
+  std::vector<std::uint64_t> cycle;
+  cycle.reserve(n);
+  // The i-th vertex is the window sequence[i .. i+k) (cyclic); each step
+  // drops the first digit and appends the next, i.e. a left-shift edge.
+  std::uint64_t rank = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    rank = rank * radix + sequence[i % n];
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    cycle.push_back(rank);
+    rank = graph.left_shift_rank(rank, sequence[(k + i) % n]);
+  }
+  return cycle;
+}
+
+std::vector<std::uint64_t> hamiltonian_cycle(std::uint32_t radix, std::size_t k) {
+  return hamiltonian_cycle_from_sequence(radix, k,
+                                         de_bruijn_sequence(radix, k));
+}
+
+}  // namespace dbn

@@ -1,0 +1,48 @@
+// De Bruijn sequences and Hamiltonian cycles of DG(d,k).
+//
+// The paper's introduction lists "the existence of multiple Hamiltonian
+// paths" (de Bruijn 1946; Etzion & Lempel 1984) among the network's
+// attractive features; the ring/linear-array embeddings in embedding.hpp
+// are built on these cycles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// A d-ary de Bruijn sequence B(d, n): a cyclic digit sequence of length
+/// d^n in which every d-ary word of length n occurs exactly once as a
+/// cyclic window. Built with the Fredricksen–Kessler–Maiorana (FKM)
+/// necklace-concatenation algorithm (lexicographically least sequence).
+/// O(d^n) output, O(n) working space beyond the output.
+std::vector<Digit> de_bruijn_sequence(std::uint32_t radix, std::size_t n);
+
+/// A (generally different) de Bruijn sequence from an explicit Hierholzer
+/// Euler cycle of DG(d, n-1). Together with de_bruijn_sequence and
+/// de_bruijn_sequence_greedy this witnesses the paper's "multiple
+/// Hamiltonian paths" remark (de Bruijn 1946; Etzion & Lempel 1984).
+/// O(d^n) time and space.
+std::vector<Digit> de_bruijn_sequence_hierholzer(std::uint32_t radix,
+                                                 std::size_t n);
+
+/// De Bruijn's classic "prefer-largest" greedy construction: starting from
+/// 0^n, repeatedly append the largest digit whose window is still unseen.
+/// O(d^n) time, O(d^n) window bookkeeping.
+std::vector<Digit> de_bruijn_sequence_greedy(std::uint32_t radix,
+                                             std::size_t n);
+
+/// A Hamiltonian cycle of the (directed) DG(d,k): the d^k vertex ranks in
+/// cycle order; consecutive vertices (and last -> first) are joined by
+/// left-shift edges. Derived from the length-k windows of B(d,k).
+std::vector<std::uint64_t> hamiltonian_cycle(std::uint32_t radix, std::size_t k);
+
+/// Hamiltonian cycle built from a caller-supplied de Bruijn sequence
+/// (e.g. the Hierholzer or greedy one) — distinct sequences give distinct
+/// cycles, the "multiple Hamiltonian paths" of Section 1.
+std::vector<std::uint64_t> hamiltonian_cycle_from_sequence(
+    std::uint32_t radix, std::size_t k, const std::vector<Digit>& sequence);
+
+}  // namespace dbn

@@ -1,0 +1,72 @@
+#include "debruijn/shuffle_exchange.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+ShuffleExchangeGraph::ShuffleExchangeGraph(std::size_t k) : k_(k) {
+  DBN_REQUIRE(k_ >= 1 && k_ < 63, "ShuffleExchangeGraph requires 1 <= k < 63");
+  n_ = std::uint64_t{1} << k_;
+}
+
+std::uint64_t ShuffleExchangeGraph::shuffle(std::uint64_t v) const {
+  DBN_REQUIRE(v < n_, "shuffle: vertex out of range");
+  const std::uint64_t top = (v >> (k_ - 1)) & 1;
+  return ((v << 1) | top) & (n_ - 1);
+}
+
+std::uint64_t ShuffleExchangeGraph::unshuffle(std::uint64_t v) const {
+  DBN_REQUIRE(v < n_, "unshuffle: vertex out of range");
+  const std::uint64_t low = v & 1;
+  return (v >> 1) | (low << (k_ - 1));
+}
+
+std::uint64_t ShuffleExchangeGraph::exchange(std::uint64_t v) const {
+  DBN_REQUIRE(v < n_, "exchange: vertex out of range");
+  return v ^ 1;
+}
+
+std::vector<std::uint64_t> ShuffleExchangeGraph::neighbors(
+    std::uint64_t v) const {
+  std::vector<std::uint64_t> out = {shuffle(v), unshuffle(v), exchange(v)};
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  out.erase(std::remove(out.begin(), out.end(), v), out.end());
+  return out;
+}
+
+int ShuffleExchangeGraph::eccentricity(std::uint64_t v) const {
+  std::vector<int> dist(n_, -1);
+  std::deque<std::uint64_t> frontier;
+  dist[v] = 0;
+  frontier.push_back(v);
+  int ecc = 0;
+  while (!frontier.empty()) {
+    const std::uint64_t u = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : neighbors(u)) {
+      if (dist[w] == -1) {
+        dist[w] = dist[u] + 1;
+        ecc = std::max(ecc, dist[w]);
+        frontier.push_back(w);
+      }
+    }
+  }
+  for (std::uint64_t u = 0; u < n_; ++u) {
+    DBN_ASSERT(dist[u] >= 0, "SE(k) is connected");
+  }
+  return ecc;
+}
+
+int ShuffleExchangeGraph::diameter() const {
+  int diam = 0;
+  for (std::uint64_t v = 0; v < n_; ++v) {
+    diam = std::max(diam, eccentricity(v));
+  }
+  return diam;
+}
+
+}  // namespace dbn

@@ -1,0 +1,47 @@
+// The shuffle-exchange network SE(k) — the architecture the introduction
+// says the binary de Bruijn network subsumes (Samatham & Pradhan).
+//
+// SE(k) has 2^k nodes; node w is joined to shuffle(w) (left rotation,
+// undirected) and to exchange(w) (last bit flipped). Degree <= 3,
+// diameter ~ 2k. The emulation of SE moves by DN(2,k) hops lives in
+// embedding.hpp (shuffle: 1 hop, exchange: 2 hops); this class provides
+// the SE graph itself so the dilation claims can be checked both ways.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+class ShuffleExchangeGraph {
+ public:
+  explicit ShuffleExchangeGraph(std::size_t k);
+
+  std::size_t k() const { return k_; }
+  std::uint64_t vertex_count() const { return n_; }
+
+  /// shuffle(w): rotate left by one bit.
+  std::uint64_t shuffle(std::uint64_t v) const;
+  /// unshuffle(w): rotate right by one bit (shuffle's inverse).
+  std::uint64_t unshuffle(std::uint64_t v) const;
+  /// exchange(w): flip the last (least significant) bit.
+  std::uint64_t exchange(std::uint64_t v) const;
+
+  /// Undirected neighbors: shuffle, unshuffle, exchange (deduplicated,
+  /// self excluded).
+  std::vector<std::uint64_t> neighbors(std::uint64_t v) const;
+
+  /// Max distance from v (BFS over the undirected edges).
+  int eccentricity(std::uint64_t v) const;
+
+  /// Max eccentricity over all sources. O(N^2).
+  int diameter() const;
+
+ private:
+  std::size_t k_;
+  std::uint64_t n_;
+};
+
+}  // namespace dbn

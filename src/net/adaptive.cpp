@@ -1,0 +1,61 @@
+#include "net/adaptive.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "core/distance.hpp"
+
+namespace dbn::net {
+
+AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
+                              const std::vector<bool>& failed, const Word& x,
+                              const Word& y, Rng& rng,
+                              const AdaptiveConfig& config) {
+  DBN_REQUIRE(failed.size() == graph.vertex_count(),
+              "failed mask size must equal the vertex count");
+  DBN_REQUIRE(x.radix() == graph.radix() && x.length() == graph.k() &&
+                  y.radix() == graph.radix() && y.length() == graph.k(),
+              "route endpoints must belong to the graph");
+  DBN_REQUIRE(!failed[x.rank()] && !failed[y.rank()],
+              "adaptive_route endpoints must be live");
+  DBN_REQUIRE(graph.orientation() == Orientation::Undirected,
+              "adaptive routing uses the bi-directional distance function");
+
+  const int ttl = config.ttl > 0 ? config.ttl
+                                 : 4 * static_cast<int>(graph.k());
+  AdaptiveResult result;
+  Word at = x;
+  while (!(at == y)) {
+    if (result.hops >= ttl) {
+      return result;  // undelivered
+    }
+    const int here = undirected_distance(at, y);
+    std::vector<Word> improving;
+    std::vector<Word> sideways;
+    for (const std::uint64_t r : graph.neighbors(at.rank())) {
+      if (failed[r]) {
+        continue;
+      }
+      const Word next = graph.word(r);
+      const int dist = undirected_distance(next, y);
+      if (dist == here - 1) {
+        improving.push_back(next);
+      } else if (dist == here) {
+        sideways.push_back(next);
+      }
+    }
+    const bool take_sideways =
+        improving.empty() ||
+        (!sideways.empty() && rng.chance(config.jitter));
+    const std::vector<Word>& pool = take_sideways ? sideways : improving;
+    if (pool.empty()) {
+      return result;  // stuck: every useful neighbor is dead
+    }
+    at = pool[rng.below(pool.size())];
+    ++result.hops;
+  }
+  result.delivered = true;
+  return result;
+}
+
+}  // namespace dbn::net

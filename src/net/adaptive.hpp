@@ -1,0 +1,40 @@
+// Adaptive routing with *local* fault knowledge.
+//
+// The fault-aware router (net/fault.hpp) assumes the source knows every
+// failed site — global state a real network rarely has. Here each site
+// knows only which of its own neighbors are dead, and greedily forwards
+// using the O(k) distance function: strictly improving live neighbors
+// first, sideways moves (equal distance) as an escape, a TTL against
+// livelock. Delivery is no longer guaranteed, which is exactly what the
+// S2-companion benchmark quantifies.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "debruijn/graph.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn::net {
+
+struct AdaptiveResult {
+  bool delivered = false;
+  int hops = 0;
+};
+
+struct AdaptiveConfig {
+  int ttl = 0;  // 0 = default of 4k hops
+  /// Probability of taking a sideways (equal-distance) move even when an
+  /// improving neighbor exists; small values help escape fault clusters.
+  double jitter = 0.0;
+};
+
+/// Walks from x to y over live sites only. `failed[r]` marks dead sites;
+/// x and y must be live. Randomized tie-breaking via `rng` (deterministic
+/// under a fixed seed).
+AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
+                              const std::vector<bool>& failed, const Word& x,
+                              const Word& y, Rng& rng,
+                              const AdaptiveConfig& config = {});
+
+}  // namespace dbn::net

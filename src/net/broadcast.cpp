@@ -1,0 +1,106 @@
+#include "net/broadcast.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/contract.hpp"
+
+namespace dbn::net {
+
+BroadcastTree build_broadcast_tree(const DeBruijnGraph& graph,
+                                   std::uint64_t root) {
+  const std::uint64_t n = graph.vertex_count();
+  DBN_REQUIRE(root < n, "build_broadcast_tree: root out of range");
+  BroadcastTree tree;
+  tree.root = root;
+  tree.parent.assign(n, -2);
+  tree.children.assign(n, {});
+  tree.depth.assign(n, -1);
+  std::deque<std::uint64_t> frontier;
+  tree.parent[root] = -1;
+  tree.depth[root] = 0;
+  frontier.push_back(root);
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : graph.neighbors(v)) {
+      if (tree.parent[w] != -2) {
+        continue;
+      }
+      tree.parent[w] = static_cast<std::int64_t>(v);
+      tree.depth[w] = tree.depth[v] + 1;
+      tree.height = std::max(tree.height, tree.depth[w]);
+      tree.children[v].push_back(w);
+      frontier.push_back(w);
+    }
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    DBN_ASSERT(tree.parent[v] != -2, "DG(d,k) is connected");
+  }
+  return tree;
+}
+
+ReduceSchedule schedule_reduce(const BroadcastTree& tree, PortModel model) {
+  const std::size_t n = tree.parent.size();
+  ReduceSchedule schedule;
+  schedule.send_round.assign(n, 0);
+  schedule.messages = n - 1;
+  // ready[v]: round by which v holds its whole subtree's contribution.
+  std::vector<int> ready(n, 0);
+  // Children-first: BFS order from the root, reversed.
+  std::vector<std::uint64_t> order;
+  order.reserve(n);
+  std::deque<std::uint64_t> frontier = {tree.root};
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    order.push_back(v);
+    for (const std::uint64_t c : tree.children[v]) {
+      frontier.push_back(c);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::uint64_t v = *it;
+    int last_arrival = 0;
+    for (const std::uint64_t c : tree.children[v]) {
+      // Child c transmits once it is ready; a single-port parent also
+      // serializes receptions (children in stored order).
+      const int arrival = model == PortModel::AllPort
+                              ? ready[c] + 1
+                              : std::max(last_arrival + 1, ready[c] + 1);
+      schedule.send_round[c] = arrival;
+      last_arrival = arrival;
+      ready[v] = std::max(ready[v], arrival);
+    }
+  }
+  schedule.completion = ready[tree.root];
+  return schedule;
+}
+
+BroadcastSchedule schedule_broadcast(const BroadcastTree& tree,
+                                     PortModel model) {
+  const std::size_t n = tree.parent.size();
+  BroadcastSchedule schedule;
+  schedule.receive_round.assign(n, 0);
+  schedule.messages = n - 1;
+  // Top-down in BFS order: parents always precede children, and the
+  // children vectors were filled in that order.
+  std::deque<std::uint64_t> frontier = {tree.root};
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    const int base = schedule.receive_round[v];
+    int slot = 0;
+    for (const std::uint64_t c : tree.children[v]) {
+      const int round =
+          model == PortModel::AllPort ? base + 1 : base + 1 + slot;
+      schedule.receive_round[c] = round;
+      schedule.completion = std::max(schedule.completion, round);
+      ++slot;
+      frontier.push_back(c);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace dbn::net

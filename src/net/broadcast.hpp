@@ -1,0 +1,72 @@
+// One-to-all broadcast in DN(d,k).
+//
+// De Bruijn networks were proposed for exactly this kind of collective
+// (Samatham & Pradhan): a BFS spanning tree rooted at the source has depth
+// = eccentricity(root) <= k, so a broadcast completes in at most k rounds
+// when a site can feed all its links at once ("all-port"), and in
+// O(k + log N) = O(k) rounds single-port because out-degrees are bounded
+// by 2d. This module builds the tree and computes both schedules; the
+// bench compares root choices and port models against the eccentricity
+// lower bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "debruijn/graph.hpp"
+
+namespace dbn::net {
+
+/// BFS spanning tree of the network, rooted at `root`.
+struct BroadcastTree {
+  std::uint64_t root = 0;
+  /// parent[v] = predecessor on the tree path, -1 at the root.
+  std::vector<std::int64_t> parent;
+  /// children[v], in ascending rank order.
+  std::vector<std::vector<std::uint64_t>> children;
+  /// BFS depth of each vertex (= distance from the root).
+  std::vector<int> depth;
+  /// max depth = eccentricity of the root.
+  int height = 0;
+};
+
+BroadcastTree build_broadcast_tree(const DeBruijnGraph& graph,
+                                   std::uint64_t root);
+
+/// How many links a site may drive simultaneously.
+enum class PortModel {
+  AllPort,     // a site feeds every child link in the same round
+  SinglePort,  // one child per round, children served in order
+};
+
+struct BroadcastSchedule {
+  /// Round (1-based; root has 0) at which each vertex receives the message.
+  std::vector<int> receive_round;
+  /// max receive_round = completion time in rounds.
+  int completion = 0;
+  /// Total point-to-point messages sent (= N - 1 for a tree).
+  std::uint64_t messages = 0;
+};
+
+/// Computes the per-vertex receive rounds for the tree under the port
+/// model. All-port: child receives parent's round + 1. Single-port: the
+/// i-th child (0-based) receives parent's round + i + 1.
+BroadcastSchedule schedule_broadcast(const BroadcastTree& tree,
+                                     PortModel model);
+
+struct ReduceSchedule {
+  /// Round (1-based) at which each vertex's contribution reaches its
+  /// parent; leaves send first, the root sends nothing (round 0).
+  std::vector<int> send_round;
+  /// Rounds until the root holds the full reduction.
+  int completion = 0;
+  std::uint64_t messages = 0;
+};
+
+/// The dual collective: all-to-one reduction (convergecast) over the same
+/// tree. A vertex can send to its parent only after every child has
+/// arrived; all-port parents absorb all children in one round each
+/// (completion = height), single-port parents absorb them sequentially.
+ReduceSchedule schedule_reduce(const BroadcastTree& tree, PortModel model);
+
+}  // namespace dbn::net

@@ -1,0 +1,57 @@
+// Fault tolerance in DN(d,k).
+//
+// The paper's introduction cites Pradhan & Reddy: de Bruijn networks
+// "tolerate up to d-1 processor failures". This module provides the
+// machinery to measure that claim: a fault-aware router (exact BFS on the
+// surviving subgraph) and connectivity probes used by the S2 benchmark.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/path.hpp"
+#include "debruijn/graph.hpp"
+
+namespace dbn::net {
+
+/// Routes around a fixed set of failed sites with BFS on the surviving
+/// subgraph. Exact (finds a path iff one exists) but O(N d) per query —
+/// this is the recovery path, not the common case.
+class FaultAwareRouter {
+ public:
+  /// `failed[rank]` marks dead sites. The graph must be materializable.
+  FaultAwareRouter(const DeBruijnGraph& graph, std::vector<bool> failed);
+
+  /// A shortest surviving path from x to y avoiding failed sites, or
+  /// std::nullopt if none exists (or an endpoint is dead).
+  std::optional<RoutingPath> route(const Word& x, const Word& y) const;
+
+  const std::vector<bool>& failed() const { return failed_; }
+
+ private:
+  const DeBruijnGraph& graph_;
+  std::vector<bool> failed_;
+};
+
+/// True iff every pair of surviving sites remains mutually reachable after
+/// removing the failed ones. O(N d) (one BFS from the first survivor; for
+/// directed graphs checks forward and backward reachability).
+bool survivors_connected(const DeBruijnGraph& graph,
+                         const std::vector<bool>& failed);
+
+/// Draws `count` distinct failed ranks uniformly at random.
+std::vector<bool> random_fault_set(const DeBruijnGraph& graph,
+                                   std::size_t count, Rng& rng);
+
+/// Shortest path avoiding failed sites and failed *directed links* (keys
+/// are from * N + to, matching Simulator::fail_link). std::nullopt when no
+/// surviving path exists. O(N d) BFS.
+std::optional<RoutingPath> route_avoiding(
+    const DeBruijnGraph& graph, const std::vector<bool>& failed_nodes,
+    const std::unordered_set<std::uint64_t>& failed_links, const Word& x,
+    const Word& y);
+
+}  // namespace dbn::net

@@ -1,0 +1,52 @@
+#include "net/load_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbn::net {
+
+double gini_coefficient(std::vector<double> values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - n - 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  return weighted / (n * total);
+}
+
+double gini_coefficient(const std::vector<std::uint64_t>& values) {
+  std::vector<double> doubles(values.begin(), values.end());
+  return gini_coefficient(std::move(doubles));
+}
+
+double coefficient_of_variation(const std::vector<std::uint64_t>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (const std::uint64_t v : values) {
+    mean += static_cast<double>(v);
+  }
+  mean /= static_cast<double>(values.size());
+  if (mean == 0.0) {
+    return 0.0;
+  }
+  double var = 0.0;
+  for (const std::uint64_t v : values) {
+    const double delta = static_cast<double>(v) - mean;
+    var += delta * delta;
+  }
+  var /= static_cast<double>(values.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace dbn::net

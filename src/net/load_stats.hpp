@@ -1,0 +1,24 @@
+// Load-distribution statistics for the balancing experiments.
+//
+// Max queue length shows the worst instant; these summarize the whole
+// run: per-link transmission counts and their Gini coefficient (0 = all
+// links carried equal traffic, ->1 = traffic concentrated on few links).
+// The wildcard experiment (S1) uses the Gini of link loads as its primary
+// balancing metric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbn::net {
+
+/// Gini coefficient of a non-negative sample (0 for empty/uniform input).
+double gini_coefficient(std::vector<double> values);
+
+/// Convenience overload for counters.
+double gini_coefficient(const std::vector<std::uint64_t>& values);
+
+/// Coefficient of variation (stddev / mean); 0 for empty or zero-mean input.
+double coefficient_of_variation(const std::vector<std::uint64_t>& values);
+
+}  // namespace dbn::net

@@ -1,0 +1,164 @@
+#include "net/message.hpp"
+
+#include <cstring>
+
+#include "common/contract.hpp"
+
+namespace dbn::net {
+
+namespace {
+
+// Wire format (all integers little-endian):
+//   u8  control
+//   u32 radix, u32 k
+//   k * u32 source digits, k * u32 destination digits
+//   u32 hop count; per hop: u8 type (0/1), u32 digit (0xFFFFFFFF = "*")
+//   u32 payload size; payload bytes
+// A word digit and a hop digit must be < radix (except the wildcard).
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& buffer) : buffer_(buffer) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > buffer_.size()) {
+      return false;
+    }
+    out = buffer_[pos_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    if (pos_ + 4 > buffer_.size()) {
+      return false;
+    }
+    out = static_cast<std::uint32_t>(buffer_[pos_]) |
+          (static_cast<std::uint32_t>(buffer_[pos_ + 1]) << 8) |
+          (static_cast<std::uint32_t>(buffer_[pos_ + 2]) << 16) |
+          (static_cast<std::uint32_t>(buffer_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool bytes(std::vector<std::uint8_t>& out, std::size_t n) {
+    if (pos_ + n > buffer_.size()) {
+      return false;
+    }
+    out.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               buffer_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Message::Message(ControlCode control_, Word source_, Word destination_,
+                 RoutingPath path_, std::vector<std::uint8_t> payload_)
+    : control(control_),
+      source(std::move(source_)),
+      destination(std::move(destination_)),
+      path(std::move(path_)),
+      payload(std::move(payload_)) {
+  DBN_REQUIRE(source.radix() == destination.radix() &&
+                  source.length() == destination.length(),
+              "message endpoints must share radix and length");
+  for (const Hop& h : path.hops()) {
+    DBN_REQUIRE(h.is_wildcard() || h.digit < source.radix(),
+                "routing-path digit out of range for the network radix");
+  }
+}
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  std::vector<std::uint8_t> out;
+  const std::size_t k = message.source.length();
+  out.reserve(1 + 8 + 8 * k + 4 + 5 * message.path.length() + 4 +
+              message.payload.size());
+  put_u8(out, static_cast<std::uint8_t>(message.control));
+  put_u32(out, message.source.radix());
+  put_u32(out, static_cast<std::uint32_t>(k));
+  for (std::size_t i = 0; i < k; ++i) {
+    put_u32(out, message.source.digit(i));
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    put_u32(out, message.destination.digit(i));
+  }
+  put_u32(out, static_cast<std::uint32_t>(message.path.length()));
+  for (const Hop& h : message.path.hops()) {
+    put_u8(out, static_cast<std::uint8_t>(h.type));
+    put_u32(out, h.digit);
+  }
+  put_u32(out, static_cast<std::uint32_t>(message.payload.size()));
+  out.insert(out.end(), message.payload.begin(), message.payload.end());
+  return out;
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& buffer) {
+  Reader in(buffer);
+  std::uint8_t control = 0;
+  std::uint32_t radix = 0, k = 0;
+  if (!in.u8(control) || !in.u32(radix) || !in.u32(k)) {
+    return std::nullopt;
+  }
+  if (control > static_cast<std::uint8_t>(ControlCode::Probe) || radix < 2 ||
+      k < 1 || k > (1u << 20)) {
+    return std::nullopt;
+  }
+  auto read_word = [&]() -> std::optional<Word> {
+    std::vector<Digit> digits(k);
+    for (auto& digit : digits) {
+      std::uint32_t v = 0;
+      if (!in.u32(v) || v >= radix) {
+        return std::nullopt;
+      }
+      digit = v;
+    }
+    return Word(radix, std::move(digits));
+  };
+  auto source = read_word();
+  auto destination = read_word();
+  if (!source || !destination) {
+    return std::nullopt;
+  }
+  std::uint32_t hop_count = 0;
+  if (!in.u32(hop_count) || hop_count > (1u << 24)) {
+    return std::nullopt;
+  }
+  RoutingPath path;
+  for (std::uint32_t i = 0; i < hop_count; ++i) {
+    std::uint8_t type = 0;
+    std::uint32_t digit = 0;
+    if (!in.u8(type) || !in.u32(digit) || type > 1 ||
+        (digit != kWildcard && digit >= radix)) {
+      return std::nullopt;
+    }
+    path.push({static_cast<ShiftType>(type), digit});
+  }
+  std::uint32_t payload_size = 0;
+  if (!in.u32(payload_size)) {
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> payload;
+  if (!in.bytes(payload, payload_size) || !in.exhausted()) {
+    return std::nullopt;
+  }
+  return Message(static_cast<ControlCode>(control), std::move(*source),
+                 std::move(*destination), std::move(path), std::move(payload));
+}
+
+}  // namespace dbn::net

@@ -1,0 +1,51 @@
+// The paper's message format (Section 3.1): "when a message is generated,
+// it is composed of five fields: control code, source address, destination
+// address, routing path, and the message content."
+//
+// This module defines that message and a compact binary wire codec, so the
+// simulator moves exactly what a DN(d,k) site would move.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/path.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn::net {
+
+/// The control-code field. The paper leaves the values open; the simulator
+/// uses Data for payload traffic and Probe for measurement traffic.
+enum class ControlCode : std::uint8_t {
+  Data = 0,
+  Ack = 1,
+  Probe = 2,
+};
+
+/// A DN(d,k) message. The routing-path field is consumed left to right by
+/// forwarding sites; `cursor` marks how many hops have been consumed (it is
+/// simulator state, not serialized).
+struct Message {
+  ControlCode control = ControlCode::Data;
+  Word source;
+  Word destination;
+  RoutingPath path;
+  std::vector<std::uint8_t> payload;
+
+  Message(ControlCode control_, Word source_, Word destination_,
+          RoutingPath path_, std::vector<std::uint8_t> payload_ = {});
+
+  friend bool operator==(const Message& a, const Message& b) = default;
+};
+
+/// Serializes the five fields into a length-prefixed little-endian buffer.
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Parses a buffer produced by encode. Returns std::nullopt on any
+/// structural error (truncation, bad radix/digits, trailing bytes), never
+/// throws on malformed input: the decoder is the trust boundary.
+std::optional<Message> decode(const std::vector<std::uint8_t>& buffer);
+
+}  // namespace dbn::net

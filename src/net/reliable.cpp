@@ -1,0 +1,94 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace dbn::net {
+
+namespace {
+
+std::vector<std::uint8_t> encode_transfer_id(std::uint64_t id) {
+  std::vector<std::uint8_t> payload(8);
+  for (int b = 0; b < 8; ++b) {
+    payload[static_cast<std::size_t>(b)] =
+        static_cast<std::uint8_t>(id >> (8 * b));
+  }
+  return payload;
+}
+
+std::uint64_t decode_transfer_id(const std::vector<std::uint8_t>& payload) {
+  DBN_ASSERT(payload.size() == 8, "reliable payload carries the transfer id");
+  std::uint64_t id = 0;
+  for (int b = 7; b >= 0; --b) {
+    id = (id << 8) | payload[static_cast<std::size_t>(b)];
+  }
+  return id;
+}
+
+}  // namespace
+
+ReliableReport run_reliable(Simulator& sim,
+                            const std::vector<Transfer>& transfers,
+                            const AttemptRouter& route,
+                            const ReliableConfig& config) {
+  DBN_REQUIRE(config.timeout > 0.0 && config.max_attempts >= 1,
+              "reliable transfer needs a positive timeout and attempt budget");
+  const std::uint32_t d = sim.config().radix;
+  const std::size_t k = sim.config().k;
+
+  ReliableReport report;
+  report.transfers = transfers.size();
+  std::vector<bool> done(transfers.size(), false);
+  std::vector<int> attempts(transfers.size(), 0);
+
+  sim.set_delivery_hook([&](const Message& message, double time) {
+    if (message.payload.size() != 8) {
+      return;  // not one of ours
+    }
+    const std::uint64_t id = decode_transfer_id(message.payload);
+    if (id < done.size() && !done[id]) {
+      done[id] = true;
+      ++report.completed;
+      report.completion_time = std::max(report.completion_time, time);
+    }
+  });
+
+  double window_start = sim.now();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t id = 0; id < transfers.size(); ++id) {
+      if (done[id] || attempts[id] >= config.max_attempts) {
+        continue;
+      }
+      const Word src = Word::from_rank(d, k, transfers[id].source);
+      const Word dst = Word::from_rank(d, k, transfers[id].destination);
+      if (attempts[id] > 0) {
+        ++report.retransmissions;
+      }
+      sim.inject(window_start,
+                 Message(ControlCode::Data, src, dst,
+                         route(src, dst, attempts[id]),
+                         encode_transfer_id(id)));
+      ++attempts[id];
+      progress = true;
+    }
+    if (!progress) {
+      break;
+    }
+    window_start += config.timeout;
+    sim.run(window_start);
+  }
+  sim.run();  // drain whatever is still in flight
+  sim.set_delivery_hook(nullptr);
+
+  for (std::size_t id = 0; id < transfers.size(); ++id) {
+    if (!done[id]) {
+      ++report.abandoned;
+    }
+  }
+  return report;
+}
+
+}  // namespace dbn::net

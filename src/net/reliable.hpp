@@ -1,0 +1,51 @@
+// Reliable transfer on top of the lossy network: sender-side timeout and
+// retransmission, the minimal protocol a real DN(d,k) deployment would run
+// over the paper's raw forwarding (which silently drops on queue overflow
+// and on failed sites).
+//
+// Each transfer is tagged with an id carried in the payload; the driver
+// injects a batch, advances the simulator one timeout window at a time,
+// and re-injects whatever was not delivered, re-routing every attempt
+// (fresh wildcard choices give retransmissions an independent chance to
+// miss transient congestion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/path.hpp"
+#include "net/simulator.hpp"
+
+namespace dbn::net {
+
+struct Transfer {
+  std::uint64_t source = 0;
+  std::uint64_t destination = 0;
+};
+
+struct ReliableConfig {
+  double timeout = 64.0;    // window before a retransmission
+  int max_attempts = 6;     // total tries per transfer
+};
+
+struct ReliableReport {
+  std::uint64_t transfers = 0;
+  std::uint64_t completed = 0;     // delivered at least once
+  std::uint64_t retransmissions = 0;
+  std::uint64_t abandoned = 0;     // max_attempts exhausted
+  double completion_time = 0.0;    // clock when the last delivery landed
+};
+
+/// Routes each attempt; receives (source, destination, attempt index).
+using AttemptRouter =
+    std::function<RoutingPath(const Word&, const Word&, int attempt)>;
+
+/// Drives `transfers` to completion over `sim` (which may have failed
+/// sites and finite queues). Installs a delivery hook on the simulator;
+/// any hook previously installed is replaced.
+ReliableReport run_reliable(Simulator& sim, const std::vector<Transfer>& transfers,
+                            const AttemptRouter& route,
+                            const ReliableConfig& config = {});
+
+}  // namespace dbn::net

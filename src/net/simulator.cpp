@@ -1,0 +1,216 @@
+#include "net/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contract.hpp"
+#include "core/hop_by_hop.hpp"
+
+namespace dbn::net {
+
+namespace {
+constexpr std::uint64_t kMaxSimVertices = 1ull << 26;
+}
+
+double SimStats::latency_percentile(double p) const {
+  DBN_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  if (latencies.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(std::llround(idx))];
+}
+
+Simulator::Simulator(const SimConfig& config)
+    : config_(config),
+      graph_(config.radix, config.k, config.orientation),
+      rng_(config.seed) {
+  DBN_REQUIRE(config.link_delay > 0.0, "link_delay must be positive");
+  DBN_REQUIRE(graph_.vertex_count() <= kMaxSimVertices,
+              "network too large to simulate (d^k > 2^26)");
+  failed_.resize(graph_.vertex_count(), false);
+}
+
+void Simulator::fail_node(std::uint64_t rank) {
+  DBN_REQUIRE(rank < graph_.vertex_count(), "fail_node: rank out of range");
+  failed_[rank] = true;
+}
+
+bool Simulator::is_failed(std::uint64_t rank) const {
+  DBN_REQUIRE(rank < graph_.vertex_count(), "is_failed: rank out of range");
+  return failed_[rank];
+}
+
+void Simulator::fail_link(std::uint64_t from, std::uint64_t to) {
+  DBN_REQUIRE(from < graph_.vertex_count() && to < graph_.vertex_count(),
+              "fail_link: rank out of range");
+  failed_links_.insert(from * graph_.vertex_count() + to);
+}
+
+bool Simulator::is_link_failed(std::uint64_t from, std::uint64_t to) const {
+  DBN_REQUIRE(from < graph_.vertex_count() && to < graph_.vertex_count(),
+              "is_link_failed: rank out of range");
+  return failed_links_.contains(from * graph_.vertex_count() + to);
+}
+
+void Simulator::inject(double time, Message message) {
+  DBN_REQUIRE(time >= now_, "cannot inject in the simulated past");
+  DBN_REQUIRE(message.source.radix() == config_.radix &&
+                  message.source.length() == config_.k,
+              "message does not fit this network");
+  const std::uint64_t source_rank = message.source.rank();
+  flights_.push_back(
+      InFlight{std::move(message), time, /*cursor=*/0, source_rank});
+  if (config_.record_traces) {
+    traces_.emplace_back();
+  }
+  ++stats_.injected;
+  schedule(time, flights_.size() - 1);
+}
+
+void Simulator::schedule(double time, std::size_t flight_index) {
+  heap_.push_back(Event{time, next_seq_++, flight_index});
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+double Simulator::run(double until) {
+  while (!heap_.empty()) {
+    if (heap_.front().time > until) {
+      break;
+    }
+    std::pop_heap(heap_.begin(), heap_.end());
+    const Event event = heap_.back();
+    heap_.pop_back();
+    DBN_ASSERT(event.time >= now_, "event times must be non-decreasing");
+    now_ = event.time;
+    arrive(event.flight);
+  }
+  return now_;
+}
+
+std::size_t Simulator::queue_length(std::uint64_t from, std::uint64_t to) const {
+  const auto it = links_.find(from * graph_.vertex_count() + to);
+  if (it == links_.end() || it->second.next_free <= now_) {
+    return 0;
+  }
+  return static_cast<std::size_t>(
+      std::ceil((it->second.next_free - now_) / config_.link_delay - 1e-9));
+}
+
+Digit Simulator::resolve_wildcard(std::uint64_t at, ShiftType type, Rng& rng) {
+  switch (config_.wildcard_policy) {
+    case WildcardPolicy::Zero:
+      return 0;
+    case WildcardPolicy::Random:
+      return static_cast<Digit>(rng.below(config_.radix));
+    case WildcardPolicy::LeastQueue: {
+      Digit best = 0;
+      std::size_t best_len = queue_length(at, shift_target(at, type, 0));
+      for (Digit a = 1; a < config_.radix; ++a) {
+        const std::size_t len = queue_length(at, shift_target(at, type, a));
+        if (len < best_len) {
+          best = a;
+          best_len = len;
+        }
+      }
+      return best;
+    }
+  }
+  DBN_ASSERT(false, "unknown wildcard policy");
+  return 0;
+}
+
+std::uint64_t Simulator::shift_target(std::uint64_t at, ShiftType type,
+                                      Digit digit) const {
+  return type == ShiftType::Left ? graph_.left_shift_rank(at, digit)
+                                 : graph_.right_shift_rank(at, digit);
+}
+
+std::vector<std::uint64_t> Simulator::link_transmissions() const {
+  std::vector<std::uint64_t> counts;
+  for (std::uint64_t v = 0; v < graph_.vertex_count(); ++v) {
+    for (const std::uint64_t w : graph_.neighbors(v)) {
+      const auto it = links_.find(v * graph_.vertex_count() + w);
+      counts.push_back(it == links_.end() ? 0 : it->second.transmissions);
+    }
+  }
+  return counts;
+}
+
+void Simulator::deliver(InFlight& flight) {
+  ++stats_.delivered;
+  stats_.total_hops += flight.cursor;
+  const double latency = now_ - flight.injected_at;
+  stats_.total_latency += latency;
+  stats_.max_latency = std::max(stats_.max_latency, latency);
+  stats_.latencies.push_back(latency);
+  if (delivery_hook_) {
+    // The hook may call inject(), which can reallocate flights_ and
+    // invalidate references into it — hand it a stable copy.
+    const Message delivered_message = flight.message;
+    delivery_hook_(delivered_message, now_);
+  }
+}
+
+void Simulator::arrive(std::size_t flight_index) {
+  InFlight& flight = flights_[flight_index];
+  const std::uint64_t at = flight.at;
+  if (config_.record_traces) {
+    traces_[flight_index].visits.emplace_back(now_, at);
+  }
+  if (failed_[at]) {
+    ++stats_.dropped_fault;
+    return;
+  }
+  Hop hop;
+  if (config_.forwarding == ForwardingMode::SourceRouted) {
+    const RoutingPath& path = flight.message.path;
+    if (flight.cursor == path.length()) {
+      // Paper: empty routing-path field => the message is destined here.
+      if (at == flight.message.destination.rank()) {
+        deliver(flight);
+      } else {
+        ++stats_.misdelivered;
+      }
+      return;
+    }
+    hop = path.hop(flight.cursor);
+  } else {
+    if (at == flight.message.destination.rank()) {
+      deliver(flight);
+      return;
+    }
+    // Each site computes the greedy next hop itself — O(d k), no path
+    // field consulted.
+    const Word here = graph_.word(at);
+    hop = config_.orientation == Orientation::Directed
+              ? next_hop_unidirectional(here, flight.message.destination)
+              : next_hop_bidirectional(here, flight.message.destination);
+  }
+  const Digit digit = hop.is_wildcard()
+                          ? resolve_wildcard(at, hop.type, rng_)
+                          : hop.digit;
+  const std::uint64_t to = shift_target(at, hop.type, digit);
+  ++flight.cursor;
+  if (failed_links_.contains(at * graph_.vertex_count() + to)) {
+    ++stats_.dropped_link;
+    return;
+  }
+
+  LinkState& link = links_[at * graph_.vertex_count() + to];
+  const std::size_t backlog = queue_length(at, to);
+  if (backlog >= config_.link_queue_capacity) {
+    ++stats_.dropped_overflow;
+    return;
+  }
+  stats_.max_queue = std::max(stats_.max_queue, backlog + 1);
+  ++link.transmissions;
+  const double start = std::max(now_, link.next_free);
+  link.next_free = start + config_.link_delay;
+  flight.at = to;
+  schedule(start + config_.link_delay, flight_index);
+}
+
+}  // namespace dbn::net

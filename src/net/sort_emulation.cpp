@@ -1,0 +1,52 @@
+#include "net/sort_emulation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "debruijn/embedding.hpp"
+#include "debruijn/graph.hpp"
+
+namespace dbn::net {
+
+SortEmulationResult odd_even_transposition_sort(
+    std::uint32_t radix, std::size_t k, std::vector<std::uint64_t> values) {
+  const std::uint64_t n = Word::vertex_count(radix, k);
+  DBN_REQUIRE(values.size() == n,
+              "odd-even sort needs exactly one value per site (d^k)");
+  SortEmulationResult result;
+  result.site_of_position = linear_array_embedding(radix, k);
+  // Sanity: the embedding is dilation-1, i.e. consecutive array positions
+  // are adjacent sites (checked in debug; the embedding tests prove it).
+  const DeBruijnGraph g(radix, k, Orientation::Undirected);
+  for (std::size_t i = 0; i + 1 < result.site_of_position.size(); ++i) {
+    DBN_ASSERT(g.has_edge(result.site_of_position[i],
+                          result.site_of_position[i + 1]),
+               "linear-array embedding must have dilation 1");
+  }
+
+  // Odd-even transposition: alternate compare-exchange on (even, even+1)
+  // and (odd, odd+1) position pairs until a full quiet double-round.
+  bool dirty = true;
+  std::size_t parity = 0;
+  std::size_t quiet_rounds = 0;
+  while (dirty || quiet_rounds < 2) {
+    dirty = false;
+    for (std::size_t i = parity; i + 1 < values.size(); i += 2) {
+      if (values[i] > values[i + 1]) {
+        std::swap(values[i], values[i + 1]);
+        ++result.exchanges;
+        dirty = true;
+      }
+    }
+    ++result.rounds;
+    parity = 1 - parity;
+    quiet_rounds = dirty ? 0 : quiet_rounds + 1;
+    DBN_ASSERT(result.rounds <= values.size() + 2,
+               "odd-even transposition sorts within N rounds");
+  }
+  result.sorted = std::move(values);
+  return result;
+}
+
+}  // namespace dbn::net

@@ -1,0 +1,32 @@
+// Parallel sorting on DN(d,k) — the Samatham-Pradhan versatility claim
+// ("a versatile parallel processing and sorting network") made concrete.
+//
+// One value per site; sites are arranged along the dilation-1 linear-array
+// embedding (a Hamiltonian path), and odd-even transposition sort runs N
+// rounds of neighbor compare-exchange. Every exchange crosses a single
+// de Bruijn link, so a round costs one link delay regardless of N — the
+// point of embedding the array instead of routing arbitrary pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dbn::net {
+
+struct SortEmulationResult {
+  /// Values in array order after sorting (ascending).
+  std::vector<std::uint64_t> sorted;
+  /// Rounds executed until no exchange fired (<= N).
+  std::size_t rounds = 0;
+  /// Total compare-exchange operations that actually swapped.
+  std::uint64_t exchanges = 0;
+  /// Which site (rank) holds array position i.
+  std::vector<std::uint64_t> site_of_position;
+};
+
+/// Runs odd-even transposition sort of `values` (one per site of DN(d,k),
+/// so values.size() must equal d^k) over the linear-array embedding.
+SortEmulationResult odd_even_transposition_sort(
+    std::uint32_t radix, std::size_t k, std::vector<std::uint64_t> values);
+
+}  // namespace dbn::net

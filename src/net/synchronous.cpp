@@ -1,0 +1,132 @@
+#include "net/synchronous.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "core/hop_by_hop.hpp"
+
+namespace dbn::net {
+
+SynchronousNetwork::SynchronousNetwork(const SimConfig& config)
+    : config_(config),
+      graph_(config.radix, config.k, config.orientation),
+      rng_(config.seed) {
+  DBN_REQUIRE(graph_.vertex_count() <= (1u << 22),
+              "synchronous model caps the network at 2^22 sites");
+  failed_.resize(graph_.vertex_count(), false);
+}
+
+void SynchronousNetwork::fail_node(std::uint64_t rank) {
+  DBN_REQUIRE(rank < graph_.vertex_count(), "fail_node: rank out of range");
+  failed_[rank] = true;
+}
+
+void SynchronousNetwork::inject(int round, Message message) {
+  DBN_REQUIRE(round >= round_, "cannot inject in a past round");
+  DBN_REQUIRE(message.source.radix() == config_.radix &&
+                  message.source.length() == config_.k,
+              "message does not fit this network");
+  const std::uint64_t src = message.source.rank();
+  flights_.push_back(Flight{std::move(message), round, 0, src});
+  pending_.emplace(round, flights_.size() - 1);
+  ++stats_.injected;
+}
+
+void SynchronousNetwork::process_at_site(std::size_t flight_index) {
+  Flight& flight = flights_[flight_index];
+  const std::uint64_t at = flight.at;
+  if (failed_[at]) {
+    ++stats_.dropped_fault;
+    return;
+  }
+  Hop hop;
+  if (config_.forwarding == ForwardingMode::SourceRouted) {
+    const RoutingPath& path = flight.message.path;
+    if (flight.cursor == path.length()) {
+      if (at == flight.message.destination.rank()) {
+        ++stats_.delivered;
+        stats_.total_hops += flight.cursor;
+        const double latency =
+            static_cast<double>(round_ - flight.injected_round);
+        stats_.total_latency += latency;
+        stats_.max_latency = std::max(stats_.max_latency, latency);
+        stats_.latencies.push_back(latency);
+      } else {
+        ++stats_.misdelivered;
+      }
+      return;
+    }
+    hop = path.hop(flight.cursor);
+  } else {
+    if (at == flight.message.destination.rank()) {
+      ++stats_.delivered;
+      stats_.total_hops += flight.cursor;
+      const double latency =
+          static_cast<double>(round_ - flight.injected_round);
+      stats_.total_latency += latency;
+      stats_.max_latency = std::max(stats_.max_latency, latency);
+      stats_.latencies.push_back(latency);
+      return;
+    }
+    const Word here = graph_.word(at);
+    hop = config_.orientation == Orientation::Directed
+              ? next_hop_unidirectional(here, flight.message.destination)
+              : next_hop_bidirectional(here, flight.message.destination);
+  }
+  Digit digit = hop.digit;
+  if (hop.is_wildcard()) {
+    digit = config_.wildcard_policy == WildcardPolicy::Random
+                ? static_cast<Digit>(rng_.below(config_.radix))
+                : 0;  // Zero and LeastQueue collapse to 0 here: the
+                      // synchronous model has no queue introspection yet
+  }
+  const std::uint64_t to = hop.type == ShiftType::Left
+                               ? graph_.left_shift_rank(at, digit)
+                               : graph_.right_shift_rank(at, digit);
+  ++flight.cursor;
+  flight.at = to;
+  auto& queue = queues_[at * graph_.vertex_count() + to];
+  if (queue.size() >= config_.link_queue_capacity) {
+    ++stats_.dropped_overflow;
+    return;
+  }
+  stats_.max_queue = std::max(stats_.max_queue, queue.size() + 1);
+  queue.push_back(flight_index);
+}
+
+int SynchronousNetwork::run(int max_rounds) {
+  const auto process_due_injections = [&] {
+    for (auto it = pending_.begin();
+         it != pending_.end() && it->first <= round_;) {
+      const std::size_t f = it->second;
+      it = pending_.erase(it);
+      process_at_site(f);  // a source forwards in the injection round
+    }
+  };
+  process_due_injections();
+  int guard = 0;
+  while (!pending_.empty() ||
+         std::any_of(queues_.begin(), queues_.end(),
+                     [](const auto& kv) { return !kv.second.empty(); })) {
+    DBN_REQUIRE(guard++ < max_rounds,
+                "synchronous run exceeded max_rounds (livelock?)");
+    ++round_;
+    // One departure per link this round; arrivals are processed within the
+    // round, so anything they enqueue moves no earlier than next round.
+    std::vector<std::size_t> arrivals;
+    for (auto& [key, queue] : queues_) {
+      (void)key;
+      if (!queue.empty()) {
+        arrivals.push_back(queue.front());
+        queue.pop_front();
+      }
+    }
+    for (const std::size_t f : arrivals) {
+      process_at_site(f);
+    }
+    process_due_injections();
+  }
+  return round_;
+}
+
+}  // namespace dbn::net

@@ -1,0 +1,72 @@
+#include "strings/failure.hpp"
+
+#include "common/contract.hpp"
+
+namespace dbn::strings {
+
+std::vector<int> border_array(SymbolView pattern) {
+  const std::size_t n = pattern.size();
+  std::vector<int> border(n, 0);
+  int q = 0;  // length of the border being extended
+  for (std::size_t i = 1; i < n; ++i) {
+    while (q > 0 && pattern[static_cast<std::size_t>(q)] != pattern[i]) {
+      q = border[static_cast<std::size_t>(q) - 1];
+    }
+    if (pattern[static_cast<std::size_t>(q)] == pattern[i]) {
+      ++q;
+    }
+    border[i] = q;
+  }
+  return border;
+}
+
+int suffix_prefix_overlap(SymbolView x, SymbolView y) {
+  if (x.empty() || y.empty()) {
+    return 0;
+  }
+  const std::vector<int> border = border_array(y);
+  int q = 0;  // invariant: longest prefix of y that is a suffix of the
+              // processed part of x
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (q == static_cast<int>(y.size())) {
+      q = border[static_cast<std::size_t>(q) - 1];
+    }
+    while (q > 0 && y[static_cast<std::size_t>(q)] != x[i]) {
+      q = border[static_cast<std::size_t>(q) - 1];
+    }
+    if (y[static_cast<std::size_t>(q)] == x[i]) {
+      ++q;
+    }
+  }
+  return q;
+}
+
+std::vector<std::size_t> kmp_find_all(SymbolView text, SymbolView pattern) {
+  std::vector<std::size_t> hits;
+  if (pattern.empty()) {
+    hits.resize(text.size() + 1);
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+      hits[i] = i;
+    }
+    return hits;
+  }
+  const std::vector<int> border = border_array(pattern);
+  int q = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (q == static_cast<int>(pattern.size())) {
+      q = border[static_cast<std::size_t>(q) - 1];
+    }
+    while (q > 0 && pattern[static_cast<std::size_t>(q)] != text[i]) {
+      q = border[static_cast<std::size_t>(q) - 1];
+    }
+    if (pattern[static_cast<std::size_t>(q)] == text[i]) {
+      ++q;
+    }
+    if (q == static_cast<int>(pattern.size())) {
+      hits.push_back(i + 1 - pattern.size());
+    }
+  }
+  return hits;
+}
+
+}  // namespace dbn::strings

@@ -1,0 +1,35 @@
+// Lyndon words and necklaces — the combinatorics underneath the FKM
+// de Bruijn sequence (sequence.hpp) and the cyclic structure of DG(d,k)
+// (each necklace is an orbit of the left-rotation automorphism-like map).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "strings/symbol.hpp"
+
+namespace dbn::strings {
+
+/// Duval's algorithm: factorizes s into its unique non-increasing sequence
+/// of Lyndon words, returned as (start, length) pairs. O(n).
+std::vector<std::pair<std::size_t, std::size_t>> lyndon_factorization(
+    SymbolView s);
+
+/// True iff s is a Lyndon word: non-empty and strictly smaller than every
+/// proper suffix (equivalently: primitive and lexicographically least
+/// among its rotations). O(n) via the factorization.
+bool is_lyndon(SymbolView s);
+
+/// Booth's algorithm: the rotation index r (0-based) such that rotating s
+/// left by r gives the lexicographically least rotation. O(n).
+std::size_t least_rotation(SymbolView s);
+
+/// Number of d-ary necklaces of length n (distinct cyclic words):
+/// (1/n) * sum over divisors e of n of phi(n/e) * d^e. This counts the
+/// left-rotation orbits of the vertices of DG(d,n).
+std::uint64_t necklace_count(std::uint32_t radix, std::size_t n);
+
+/// True iff s is primitive (not a proper power of a shorter word). O(n).
+bool is_primitive(SymbolView s);
+
+}  // namespace dbn::strings

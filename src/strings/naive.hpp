@@ -1,0 +1,39 @@
+// Brute-force string oracles.
+//
+// These are the "conceptually simpler pattern matching algorithms" the
+// paper's Section 4 mentions as viable for small diameters. They double as
+// test oracles for the linear-time implementations and as the O(k^3)
+// baseline in the complexity benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "strings/matching.hpp"
+#include "strings/symbol.hpp"
+
+namespace dbn::strings::naive {
+
+/// Border array by direct comparison. O(n^3).
+std::vector<int> border_array(SymbolView pattern);
+
+/// Longest suffix of x that is a prefix of y, by direct comparison. O(n^2).
+int suffix_prefix_overlap(SymbolView x, SymbolView y);
+
+/// l_{i0+1, j0+1}(x, y) by direct comparison over all lengths. O(k) per call.
+int matching_l(SymbolView x, SymbolView y, std::size_t i0, std::size_t j0);
+
+/// r_{i0+1, j0+1}(x, y) by direct comparison over all lengths. O(k) per call.
+int matching_r(SymbolView x, SymbolView y, std::size_t i0, std::size_t j0);
+
+/// min over i, j of (2k-1 + i - j - l_{i,j}) by full enumeration. O(k^3).
+OverlapMin min_l_cost(SymbolView x, SymbolView y);
+
+/// All occurrences of pattern in text by direct comparison. O(n*m).
+std::vector<std::size_t> find_all(SymbolView text, SymbolView pattern);
+
+/// Length of the longest common substring of a and b. O(n^2 m) — oracle for
+/// the suffix-tree common-substring machinery.
+int longest_common_substring(SymbolView a, SymbolView b);
+
+}  // namespace dbn::strings::naive

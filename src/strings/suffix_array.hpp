@@ -1,0 +1,62 @@
+// Suffix arrays with LCP and range-minimum support — the array-form twin
+// of the suffix tree (LCP intervals are exactly the tree's internal
+// nodes), giving a fourth independent engine for the Theorem 2 minimum and
+// a general-purpose index the library exposes publicly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "strings/matching.hpp"
+#include "strings/symbol.hpp"
+
+namespace dbn::strings {
+
+/// Suffix array of s: the start positions of all suffixes in increasing
+/// lexicographic order. Radix-doubling construction, O(n log n).
+std::vector<int> suffix_array(SymbolView s);
+
+/// Kasai's LCP array: lcp[i] = LCP(s[sa[i-1]..], s[sa[i]..]) for i >= 1,
+/// lcp[0] = 0. O(n).
+std::vector<int> lcp_array(SymbolView s, const std::vector<int>& sa);
+
+/// O(n log n) space / O(1) query sparse-table minimum over an int array.
+class RmqSparseTable {
+ public:
+  explicit RmqSparseTable(std::vector<int> values);
+
+  /// min(values[l..r]) inclusive; requires l <= r < size.
+  int min_in(std::size_t l, std::size_t r) const;
+
+  std::size_t size() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+ private:
+  std::vector<std::vector<int>> levels_;
+};
+
+/// Constant-time LCP between arbitrary suffixes of a fixed text.
+class LcpOracle {
+ public:
+  explicit LcpOracle(std::vector<Symbol> text);
+
+  /// LCP of the suffixes starting at i and j. O(1).
+  int lcp(std::size_t i, std::size_t j) const;
+
+  const std::vector<int>& sa() const { return sa_; }
+  const std::vector<int>& lcp_values() const { return lcp_; }
+
+ private:
+  std::vector<Symbol> text_;
+  std::vector<int> sa_;
+  std::vector<int> rank_;
+  std::vector<int> lcp_;
+  RmqSparseTable rmq_;
+};
+
+/// Same contract as min_l_cost / min_l_cost_suffix_tree /
+/// min_l_cost_suffix_automaton: the Theorem 2 l-side minimum with witness,
+/// via bottom-up enumeration of the LCP intervals of x·sep1·y·sep2 (the
+/// suffix-tree nodes, in array form). O(k log k) time from the SA build.
+OverlapMin min_l_cost_suffix_array(SymbolView x, SymbolView y);
+
+}  // namespace dbn::strings

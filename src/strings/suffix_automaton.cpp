@@ -1,0 +1,234 @@
+#include "strings/suffix_automaton.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contract.hpp"
+
+namespace dbn::strings {
+
+namespace {
+constexpr int kNoEnd = std::numeric_limits<int>::max() / 2;
+}
+
+SuffixAutomaton::SuffixAutomaton(SymbolView text) {
+  states_.reserve(2 * text.size() + 2);
+  states_.push_back(State{0, -1, kNoEnd, {}});
+  for (const Symbol c : text) {
+    extend(c);
+  }
+  finalize_min_end();
+}
+
+void SuffixAutomaton::extend(Symbol c) {
+  const int cur = static_cast<int>(states_.size());
+  const int cur_len = states_[static_cast<std::size_t>(last_)].len + 1;
+  // A fresh state's class first occurs ending at the current position.
+  states_.push_back(State{cur_len, -1, cur_len, {}});
+  int p = last_;
+  while (p != -1 &&
+         !states_[static_cast<std::size_t>(p)].next.contains(c)) {
+    states_[static_cast<std::size_t>(p)].next[c] = cur;
+    p = states_[static_cast<std::size_t>(p)].link;
+  }
+  if (p == -1) {
+    states_[static_cast<std::size_t>(cur)].link = 0;
+  } else {
+    const int q = states_[static_cast<std::size_t>(p)].next[c];
+    if (states_[static_cast<std::size_t>(p)].len + 1 ==
+        states_[static_cast<std::size_t>(q)].len) {
+      states_[static_cast<std::size_t>(cur)].link = q;
+    } else {
+      const int clone = static_cast<int>(states_.size());
+      State cloned = states_[static_cast<std::size_t>(q)];
+      cloned.len = states_[static_cast<std::size_t>(p)].len + 1;
+      cloned.min_end = kNoEnd;  // fixed by finalize_min_end propagation
+      states_.push_back(std::move(cloned));
+      while (p != -1 && states_[static_cast<std::size_t>(p)].next[c] == q) {
+        states_[static_cast<std::size_t>(p)].next[c] = clone;
+        p = states_[static_cast<std::size_t>(p)].link;
+      }
+      states_[static_cast<std::size_t>(q)].link = clone;
+      states_[static_cast<std::size_t>(cur)].link = clone;
+    }
+  }
+  last_ = cur;
+}
+
+void SuffixAutomaton::finalize_min_end() {
+  // endpos(link(u)) is a superset of endpos(u): propagate minima up the
+  // suffix-link tree in decreasing order of len (counting sort by len).
+  const int n = state_count();
+  int max_len = 0;
+  for (const State& s : states_) {
+    max_len = std::max(max_len, s.len);
+  }
+  std::vector<int> count(static_cast<std::size_t>(max_len) + 2, 0);
+  for (const State& s : states_) {
+    ++count[static_cast<std::size_t>(s.len) + 1];
+  }
+  for (std::size_t i = 1; i < count.size(); ++i) {
+    count[i] += count[i - 1];
+  }
+  std::vector<int> by_len(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    by_len[static_cast<std::size_t>(
+        count[static_cast<std::size_t>(states_[static_cast<std::size_t>(v)].len)]++)] = v;
+  }
+  for (int idx = n; idx-- > 1;) {
+    const int v = by_len[static_cast<std::size_t>(idx)];
+    const int link = states_[static_cast<std::size_t>(v)].link;
+    if (link >= 0) {
+      states_[static_cast<std::size_t>(link)].min_end =
+          std::min(states_[static_cast<std::size_t>(link)].min_end,
+                   states_[static_cast<std::size_t>(v)].min_end);
+    }
+  }
+}
+
+bool SuffixAutomaton::contains(SymbolView pattern) const {
+  int v = 0;
+  for (const Symbol c : pattern) {
+    const auto it = states_[static_cast<std::size_t>(v)].next.find(c);
+    if (it == states_[static_cast<std::size_t>(v)].next.end()) {
+      return false;
+    }
+    v = it->second;
+  }
+  return true;
+}
+
+std::vector<int> SuffixAutomaton::matching_statistics(SymbolView t) const {
+  std::vector<int> ms(t.size(), 0);
+  int v = 0;
+  int l = 0;
+  for (std::size_t j = 0; j < t.size(); ++j) {
+    const Symbol c = t[j];
+    while (v != 0 &&
+           !states_[static_cast<std::size_t>(v)].next.contains(c)) {
+      v = states_[static_cast<std::size_t>(v)].link;
+      l = states_[static_cast<std::size_t>(v)].len;
+    }
+    const auto it = states_[static_cast<std::size_t>(v)].next.find(c);
+    if (it != states_[static_cast<std::size_t>(v)].next.end()) {
+      v = it->second;
+      ++l;
+    } else {
+      l = 0;  // stuck at the root
+    }
+    ms[j] = l;
+  }
+  return ms;
+}
+
+int SuffixAutomaton::longest_common_substring(SymbolView t) const {
+  int best = 0;
+  for (const int m : matching_statistics(t)) {
+    best = std::max(best, m);
+  }
+  return best;
+}
+
+std::uint64_t SuffixAutomaton::distinct_substring_count() const {
+  std::uint64_t total = 0;
+  for (int v = 1; v < state_count(); ++v) {
+    const State& s = states_[static_cast<std::size_t>(v)];
+    total += static_cast<std::uint64_t>(
+        s.len - states_[static_cast<std::size_t>(s.link)].len);
+  }
+  return total;
+}
+
+OverlapMin min_l_cost_suffix_automaton(SymbolView x, SymbolView y) {
+  DBN_REQUIRE(!x.empty() && x.size() == y.size(),
+              "min_l_cost_suffix_automaton requires two non-empty words of "
+              "equal length");
+  const int k = static_cast<int>(x.size());
+  const SuffixAutomaton sam(x);
+  const auto& states = sam.states_;
+  const int n = sam.state_count();
+
+  // Over occurrences (X start p, Y end j, length s) the cost rewrites to
+  // 2k + minEnd(class) - j - 2s; within a class s is maximal (len), and
+  // along the suffix-link chain the per-class optimum
+  //     h(v) = minEnd(v) - 2*len(v)
+  // propagates as g(v) = min(h(v), g(link(v))). During the walk over y the
+  // top class is capped at the current match length l instead of len(v).
+  std::vector<int> g(static_cast<std::size_t>(n), kNoEnd);
+  std::vector<int> g_arg(static_cast<std::size_t>(n), -1);
+  // Process in increasing len order so g(link) is ready; state 0 is root.
+  {
+    int max_len = 0;
+    for (const auto& s : states) {
+      max_len = std::max(max_len, s.len);
+    }
+    std::vector<int> count(static_cast<std::size_t>(max_len) + 2, 0);
+    for (const auto& s : states) {
+      ++count[static_cast<std::size_t>(s.len) + 1];
+    }
+    for (std::size_t i = 1; i < count.size(); ++i) {
+      count[i] += count[i - 1];
+    }
+    std::vector<int> by_len(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      by_len[static_cast<std::size_t>(
+          count[static_cast<std::size_t>(states[static_cast<std::size_t>(v)].len)]++)] =
+          v;
+    }
+    for (int idx = 1; idx < n; ++idx) {
+      const int v = by_len[static_cast<std::size_t>(idx)];
+      const auto& s = states[static_cast<std::size_t>(v)];
+      const int h = s.min_end - 2 * s.len;
+      g[static_cast<std::size_t>(v)] = h;
+      g_arg[static_cast<std::size_t>(v)] = v;
+      if (s.link > 0 && g[static_cast<std::size_t>(s.link)] < h) {
+        g[static_cast<std::size_t>(v)] = g[static_cast<std::size_t>(s.link)];
+        g_arg[static_cast<std::size_t>(v)] = g_arg[static_cast<std::size_t>(s.link)];
+      }
+    }
+  }
+
+  OverlapMin best{k, 1, k, 0};  // theta = 0 baseline at (i,j) = (1,k)
+  int v = 0;
+  int l = 0;
+  for (int j = 1; j <= k; ++j) {
+    const Symbol c = y[static_cast<std::size_t>(j - 1)];
+    while (v != 0 && !states[static_cast<std::size_t>(v)].next.contains(c)) {
+      v = states[static_cast<std::size_t>(v)].link;
+      l = states[static_cast<std::size_t>(v)].len;
+    }
+    const auto it = states[static_cast<std::size_t>(v)].next.find(c);
+    if (it != states[static_cast<std::size_t>(v)].next.end()) {
+      v = it->second;
+      ++l;
+    } else {
+      l = 0;
+      continue;
+    }
+    // Top class capped at l.
+    const int top_cost = 2 * k + states[static_cast<std::size_t>(v)].min_end -
+                         j - 2 * l;
+    if (top_cost < best.cost) {
+      best.cost = top_cost;
+      best.t = j;
+      best.theta = l;
+      best.s = states[static_cast<std::size_t>(v)].min_end - l + 1;
+    }
+    const int link = states[static_cast<std::size_t>(v)].link;
+    if (link > 0 && g[static_cast<std::size_t>(link)] < kNoEnd) {
+      const int chain_cost = 2 * k + g[static_cast<std::size_t>(link)] - j;
+      if (chain_cost < best.cost) {
+        const auto& w =
+            states[static_cast<std::size_t>(g_arg[static_cast<std::size_t>(link)])];
+        best.cost = chain_cost;
+        best.t = j;
+        best.theta = w.len;
+        best.s = w.min_end - w.len + 1;
+      }
+    }
+  }
+  DBN_ASSERT(best.cost <= k, "l-side minimum must not exceed the diameter");
+  return best;
+}
+
+}  // namespace dbn::strings

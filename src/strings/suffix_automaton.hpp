@@ -1,0 +1,67 @@
+// Suffix automaton of a word — the third independent engine for the
+// Theorem 2 side-minimum (after the Algorithm 3 failure-function scan and
+// the Algorithm 4 suffix tree), used for cross-validation and in the
+// matching-kernel ablation benchmark.
+//
+// The automaton recognizes exactly the substrings of its text; walking a
+// second word through it yields, for every end position j, the longest
+// suffix of that prefix occurring in the text (the matching statistics),
+// and suffix-link bookkeeping turns those into the exact minimum of
+// 2k-1 + i - j - l_{i,j} in O(k) total (derivation in the .cpp).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "strings/matching.hpp"
+#include "strings/symbol.hpp"
+
+namespace dbn::strings {
+
+/// Suffix automaton (Blumer et al. / online construction). O(n log sigma)
+/// build, at most 2n-1 states.
+class SuffixAutomaton {
+ public:
+  explicit SuffixAutomaton(SymbolView text);
+
+  int state_count() const { return static_cast<int>(states_.size()); }
+
+  /// True iff pattern is a substring of the text.
+  bool contains(SymbolView pattern) const;
+
+  /// For every prefix t[0..j] of t, the length of its longest suffix that
+  /// occurs in the text (matching statistics). O(|t| log sigma).
+  std::vector<int> matching_statistics(SymbolView t) const;
+
+  /// Length of the longest common substring of the text and t.
+  int longest_common_substring(SymbolView t) const;
+
+  /// Number of distinct non-empty substrings of the text (a classic
+  /// automaton corollary; doubles as a structural self-check).
+  std::uint64_t distinct_substring_count() const;
+
+ private:
+  friend OverlapMin min_l_cost_suffix_automaton(SymbolView x, SymbolView y);
+
+  struct State {
+    int len = 0;               // longest string in this endpos class
+    int link = -1;             // suffix link
+    int min_end = 0;           // smallest end position (1-based length into
+                               // the text) of any occurrence
+    std::map<Symbol, int> next;
+  };
+
+  void extend(Symbol c);
+  void finalize_min_end();
+
+  std::vector<State> states_;
+  int last_ = 0;
+};
+
+/// Same contract as min_l_cost / min_l_cost_suffix_tree: the minimum of
+/// 2k-1 + i - j - l_{i,j}(x,y) with a witness, via the suffix automaton of
+/// x walked over y. O(k log sigma) time, O(k) space.
+OverlapMin min_l_cost_suffix_automaton(SymbolView x, SymbolView y);
+
+}  // namespace dbn::strings

@@ -1,0 +1,98 @@
+// Compact suffix tree ("compact prefix tree of all suffixes" in the paper's
+// Weiner terminology), the substrate of Algorithm 4.
+//
+// Substitution note (see DESIGN.md §4): the paper uses Weiner's 1973
+// right-to-left construction; we build the identical structure with
+// Ukkonen's online algorithm, which is linear in the text length for a
+// fixed alphabet. A naive O(n^2) builder is provided as a test oracle; the
+// two constructions are compared node-for-node via a canonical signature.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "strings/symbol.hpp"
+
+namespace dbn::strings {
+
+/// Compact suffix tree over an integer-symbol text.
+///
+/// Requirements: the text is non-empty and its last symbol occurs nowhere
+/// else (an endmarker, the paper's ⊥). This guarantees one leaf per suffix.
+/// For a generalized tree over two words, pass X · sep1 · Y · sep2 with two
+/// distinct out-of-alphabet separators; cross-word matches then stop at
+/// sep1 exactly as the paper's ⊥ stops them.
+///
+/// Node ids are dense ints, root() == 0. Children are keyed by the first
+/// symbol of the edge label, in symbol order (deterministic traversal).
+class SuffixTree {
+ public:
+  /// Builds with Ukkonen's algorithm. O(n log sigma) time, O(n) space.
+  explicit SuffixTree(std::vector<Symbol> text);
+
+  /// Builds the same structure by inserting suffixes one at a time
+  /// (O(n^2)); test oracle and baseline for the construction benchmark.
+  static SuffixTree build_naive(std::vector<Symbol> text);
+
+  int root() const { return 0; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+
+  const std::map<Symbol, int>& children(int v) const;
+  int parent(int v) const;
+  bool is_leaf(int v) const;
+
+  /// The edge label into v is text[edge_begin(v) .. edge_end(v)).
+  std::size_t edge_begin(int v) const;
+  std::size_t edge_end(int v) const;
+
+  /// Number of symbols on the root-to-v path (the paper's D(v)).
+  int string_depth(int v) const;
+
+  /// For a leaf, the 0-based start position of the suffix it represents.
+  std::size_t suffix_start(int leaf) const;
+
+  /// True iff pattern occurs in the text (endmarker included).
+  bool contains(SymbolView pattern) const;
+
+  /// Suffix start positions in lexicographic order of the suffixes
+  /// (a suffix array); derived by ordered DFS. O(n).
+  std::vector<std::size_t> suffix_array() const;
+
+  /// Canonical structural serialization: equal signatures <=> identical
+  /// trees (labels compared by content). Used to compare constructions.
+  std::string signature() const;
+
+  const std::vector<Symbol>& text() const { return text_; }
+
+ private:
+  struct Node {
+    std::size_t start = 0;  // edge label begin (into text_)
+    std::size_t end = 0;    // edge label end, exclusive
+    int parent = -1;
+    int link = 0;                     // suffix link (build-time only)
+    int depth = 0;                    // string depth at node
+    std::map<Symbol, int> children;  // ordered => deterministic traversal
+  };
+
+  SuffixTree() = default;  // used by build_naive
+
+  void validate_text() const;
+  int new_node(std::size_t start, std::size_t end);
+  void build_ukkonen();
+  void extend(std::size_t pos);
+  std::size_t edge_length(int v, std::size_t pos) const;
+  void finalize();
+
+  std::vector<Symbol> text_;
+  std::vector<Node> nodes_;
+
+  // Ukkonen build state.
+  int active_node_ = 0;
+  std::size_t active_edge_ = 0;
+  std::size_t active_length_ = 0;
+  std::size_t remaining_ = 0;
+};
+
+}  // namespace dbn::strings

@@ -1,0 +1,31 @@
+// Symbol type shared by the string-matching substrate.
+//
+// De Bruijn words use digits in [0, d); the suffix-tree code additionally
+// needs out-of-alphabet sentinels, so the substrate works over a wide
+// integer symbol instead of char.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dbn::strings {
+
+using Symbol = std::uint32_t;
+using SymbolView = std::span<const Symbol>;
+
+/// Converts an ASCII string to a symbol sequence (test/demo convenience).
+inline std::vector<Symbol> to_symbols(const char* text) {
+  std::vector<Symbol> out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    out.push_back(static_cast<Symbol>(static_cast<unsigned char>(*p)));
+  }
+  return out;
+}
+
+/// Returns the reversal of a symbol sequence.
+inline std::vector<Symbol> reversed(SymbolView s) {
+  return {s.rbegin(), s.rend()};
+}
+
+}  // namespace dbn::strings

@@ -1,0 +1,30 @@
+// Z-function kernel: an independent implementation of the Algorithm 3
+// matching-function row, used to cross-validate the Morris–Pratt scan and
+// as a contender in the matching-kernel ablation benchmark.
+//
+// z[i] is the length of the longest common prefix of s and s[i..]; the
+// matching row follows from the Z-array of pattern · sep · text by an
+// interval-cover sweep (see matching_row_l_z).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "strings/matching.hpp"
+#include "strings/symbol.hpp"
+
+namespace dbn::strings {
+
+/// The Z-array of s. By convention z[0] = |s|. O(|s|).
+std::vector<int> z_function(SymbolView s);
+
+/// Same contract as matching_row_l (one row of the paper's l function),
+/// computed via the Z-array instead of the failure-function automaton:
+/// row[j0] = l_{i0+1, j0+1}(x, y). O(|x| + |y|).
+std::vector<int> matching_row_l_z(SymbolView x, SymbolView y, std::size_t i0);
+
+/// Same contract as min_l_cost (the Theorem 2 l-side minimum), using
+/// Z-based rows. O(k^2) time, O(k) space.
+OverlapMin min_l_cost_z(SymbolView x, SymbolView y);
+
+}  // namespace dbn::strings

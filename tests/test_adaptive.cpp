@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "core/distance.hpp"
+#include "net/adaptive.hpp"
+#include "net/fault.hpp"
+#include "testing_util.hpp"
+
+namespace dbn::net {
+namespace {
+
+TEST(Adaptive, FaultFreeWalksAreExact) {
+  const DeBruijnGraph g(2, 5, Orientation::Undirected);
+  const std::vector<bool> none(g.vertex_count(), false);
+  Rng rng(21);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t xr = rng.below(g.vertex_count());
+    const std::uint64_t yr = rng.below(g.vertex_count());
+    const Word x = g.word(xr);
+    const Word y = g.word(yr);
+    const AdaptiveResult r = adaptive_route(g, none, x, y, rng);
+    EXPECT_TRUE(r.delivered);
+    EXPECT_EQ(r.hops, undirected_distance(x, y));
+  }
+}
+
+TEST(Adaptive, HighDeliveryUnderFewFaults) {
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  Rng rng(22);
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto failed = random_fault_set(g, 1, rng);  // f = d-1
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::uint64_t xr = rng.below(g.vertex_count());
+      const std::uint64_t yr = rng.below(g.vertex_count());
+      if (failed[xr] || failed[yr]) {
+        continue;
+      }
+      AdaptiveConfig config;
+      config.jitter = 0.1;
+      const AdaptiveResult r =
+          adaptive_route(g, failed, g.word(xr), g.word(yr), rng, config);
+      ++total;
+      delivered += r.delivered;
+      if (r.delivered) {
+        EXPECT_GE(r.hops, undirected_distance(g.word(xr), g.word(yr)));
+      }
+    }
+  }
+  ASSERT_GT(total, 200);
+  // Local knowledge only: not guaranteed, but should succeed almost always.
+  EXPECT_GT(static_cast<double>(delivered) / total, 0.95)
+      << delivered << "/" << total;
+}
+
+TEST(Adaptive, StuckWhenEveryUsefulNeighborIsDead) {
+  const DeBruijnGraph g(2, 4, Orientation::Undirected);
+  const Word corner = Word::zero(2, 4);
+  std::vector<bool> failed(g.vertex_count(), false);
+  for (const std::uint64_t v : g.neighbors(corner.rank())) {
+    failed[v] = true;
+  }
+  Rng rng(23);
+  const AdaptiveResult r =
+      adaptive_route(g, failed, corner, Word(2, {1, 1, 1, 1}), rng);
+  EXPECT_FALSE(r.delivered);
+}
+
+TEST(Adaptive, TtlBoundsTheWalk) {
+  const DeBruijnGraph g(2, 5, Orientation::Undirected);
+  const std::vector<bool> none(g.vertex_count(), false);
+  Rng rng(24);
+  AdaptiveConfig config;
+  config.ttl = 2;
+  const Word x = Word::zero(2, 5);
+  const Word y(2, {1, 1, 1, 1, 1});  // distance 5 > ttl
+  const AdaptiveResult r = adaptive_route(g, none, x, y, rng, config);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_LE(r.hops, 2);
+}
+
+TEST(Adaptive, RejectsBadUsage) {
+  const DeBruijnGraph und(2, 4, Orientation::Undirected);
+  const DeBruijnGraph dir(2, 4, Orientation::Directed);
+  std::vector<bool> failed(und.vertex_count(), false);
+  Rng rng(25);
+  const Word a = Word::zero(2, 4);
+  const Word b(2, {1, 0, 0, 1});
+  EXPECT_THROW(adaptive_route(dir, failed, a, b, rng), ContractViolation);
+  failed[0] = true;
+  EXPECT_THROW(adaptive_route(und, failed, a, b, rng), ContractViolation);
+  EXPECT_THROW(
+      adaptive_route(und, std::vector<bool>(3, false), a, b, rng),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn::net

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/ascii_plot.hpp"
+#include "common/contract.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(AsciiPlot, RendersPointsAndLegend) {
+  AsciiPlot plot(40, 10);
+  plot.add_series({{0, 1, 2, 3}, {0, 1, 2, 3}, 'a', "line a"});
+  plot.add_series({{0, 1, 2, 3}, {3, 2, 1, 0}, 'b', "line b"});
+  std::ostringstream os;
+  plot.print(os, "title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+  EXPECT_NE(out.find("a = line a"), std::string::npos);
+  EXPECT_NE(out.find("b = line b"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);  // axis corner
+}
+
+TEST(AsciiPlot, MonotoneSeriesRendersMonotonically) {
+  AsciiPlot plot(40, 10);
+  plot.add_series({{0, 1, 2, 3, 4}, {0, 1, 2, 3, 4}, '*', "diag"});
+  std::ostringstream os;
+  plot.print(os);
+  // Scan the grid rows: the '*' column index must decrease as rows go down
+  // never increase (y increases upward).
+  std::istringstream lines(os.str());
+  std::string line;
+  long prev_col = -1;
+  while (std::getline(lines, line)) {
+    const std::size_t bar = line.find('|');
+    if (bar == std::string::npos) {
+      continue;
+    }
+    const std::size_t star = line.find('*', bar);
+    if (star == std::string::npos) {
+      continue;
+    }
+    const long col = static_cast<long>(star - bar);
+    if (prev_col >= 0) {
+      EXPECT_LT(col, prev_col) << "rows go down => x must shrink";
+    }
+    prev_col = col;
+  }
+  EXPECT_GE(prev_col, 0) << "at least one point rendered";
+}
+
+TEST(AsciiPlot, EmptyPlotAndDegenerateRanges) {
+  AsciiPlot empty(20, 5);
+  std::ostringstream os;
+  empty.print(os);
+  EXPECT_NE(os.str().find("(empty plot)"), std::string::npos);
+
+  AsciiPlot flat(20, 5);
+  flat.add_series({{1, 1, 1}, {2, 2, 2}, 'x', "point"});
+  std::ostringstream os2;
+  EXPECT_NO_THROW(flat.print(os2));
+  EXPECT_NE(os2.str().find('x'), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsBadInput) {
+  EXPECT_THROW(AsciiPlot(4, 2), ContractViolation);
+  AsciiPlot plot(20, 5);
+  EXPECT_THROW(plot.add_series({{1, 2}, {1}, 'x', "bad"}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/average_distance.hpp"
+#include "core/distance.hpp"
+#include "debruijn/word.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(AverageDistance, ExactBfsAndFormulaAgree) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 1}, {2, 2}, {2, 3}, {2, 4}, {2, 5}, {2, 6}, {3, 2}, {3, 3},
+           {3, 4}, {4, 2}, {4, 3}, {5, 2}}) {
+    EXPECT_NEAR(undirected_average_exact_bfs(d, k),
+                undirected_average_exact_formula(d, k), 1e-9)
+        << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(AverageDistance, SampledEstimateConvergesToExact) {
+  Rng rng(4001);
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 5}, {3, 3}, {4, 2}}) {
+    const double exact = undirected_average_exact_bfs(d, k);
+    const double sampled = undirected_average_sampled(d, k, 20000, rng);
+    // Std error <= k / (2 sqrt(20000)) ~ 0.02k; allow 5 sigma.
+    EXPECT_NEAR(sampled, exact, 0.1 * static_cast<double>(k))
+        << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(AverageDistance, HistogramSumsToAllPairs) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 4}, {3, 3}, {4, 2}}) {
+    const auto histogram = undirected_distance_histogram(d, k);
+    const std::uint64_t n = Word::vertex_count(d, k);
+    EXPECT_EQ(std::accumulate(histogram.begin(), histogram.end(),
+                              std::uint64_t{0}),
+              n * n);
+    // Exactly N self-pairs at distance 0.
+    EXPECT_EQ(histogram[0], n);
+    // Someone is at diameter distance (the diameter is exactly k).
+    EXPECT_GT(histogram[k], 0u);
+  }
+}
+
+TEST(AverageDistance, UndirectedAverageBelowDirectedAverage) {
+  // Extra moves can only help: the undirected average is strictly below the
+  // directed one for k >= 2.
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 4}, {2, 6}, {3, 3}, {4, 3}}) {
+    EXPECT_LT(undirected_average_exact_bfs(d, k),
+              directed_average_distance_exact(d, k))
+        << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(AverageDistance, GrowsRoughlyLinearlyInK) {
+  // Figure 2 shape: for fixed d the average grows with k, staying within a
+  // constant of the diameter.
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 7; ++k) {
+    const double avg = undirected_average_exact_bfs(2, k);
+    EXPECT_GT(avg, prev);
+    EXPECT_LT(avg, static_cast<double>(k));
+    prev = avg;
+  }
+}
+
+TEST(AverageDistance, SampledRejectsZeroSamples) {
+  Rng rng(1);
+  EXPECT_THROW(undirected_average_sampled(2, 3, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

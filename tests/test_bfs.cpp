@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "debruijn/bfs.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+using dbn::testing::DkParam;
+
+class BfsGrid : public ::testing::TestWithParam<DkParam> {};
+
+TEST_P(BfsGrid, GraphIsConnectedAndDiameterIsK) {
+  const auto [d, k] = GetParam();
+  if (Word::vertex_count(d, k) > 700) {
+    GTEST_SKIP() << "all-pairs too large for this test";
+  }
+  for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+    const DeBruijnGraph g(d, k, o);
+    const std::vector<int> dist = bfs_distances(g, 0);
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_GE(dist[v], 0) << "unreachable vertex " << v;
+      EXPECT_LE(dist[v], static_cast<int>(k));
+    }
+    // Section 2: the diameter of DG(d,k) is exactly k (both variants; the
+    // distance from (0..0) to (1..1) is k).
+    EXPECT_EQ(diameter(g), static_cast<int>(k));
+  }
+}
+
+TEST_P(BfsGrid, ZeroToOnesDistanceIsK) {
+  const auto [d, k] = GetParam();
+  const DeBruijnGraph g(d, k, Orientation::Undirected);
+  const Word ones(d, std::vector<Digit>(k, 1));
+  const std::vector<int> dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[ones.rank()], static_cast<int>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrid, BfsGrid,
+                         ::testing::ValuesIn(dbn::testing::small_grid()),
+                         ::testing::PrintToStringParamName());
+
+TEST(Bfs, ShortestPathEndpointsAndEdges) {
+  const DeBruijnGraph g(2, 5, Orientation::Undirected);
+  for (std::uint64_t s = 0; s < g.vertex_count(); s += 3) {
+    for (std::uint64_t t = 0; t < g.vertex_count(); t += 5) {
+      const auto path = bfs_shortest_path(g, s, t);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), t);
+      const auto dist = bfs_distances(g, s);
+      EXPECT_EQ(path.size(), static_cast<std::size_t>(dist[t]) + 1);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(path[i], path[i + 1]))
+            << "non-edge in BFS path";
+      }
+    }
+  }
+}
+
+TEST(Bfs, DirectedPathsUseLeftShiftsOnly) {
+  const DeBruijnGraph g(3, 3, Orientation::Directed);
+  const auto path = bfs_shortest_path(g, 5, 19);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(Bfs, AvoidingBlockedVertices) {
+  const DeBruijnGraph g(2, 4, Orientation::Undirected);
+  std::vector<bool> blocked(g.vertex_count(), false);
+  // Block everything except vertices reachable through a narrow set.
+  blocked[3] = blocked[7] = blocked[11] = true;
+  const auto dist = bfs_distances_avoiding(g, 0, blocked);
+  EXPECT_EQ(dist[3], -1);
+  EXPECT_EQ(dist[7], -1);
+  EXPECT_EQ(dist[11], -1);
+  // Unblocked distances never beat the unconstrained BFS.
+  const auto base = bfs_distances(g, 0);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    if (dist[v] >= 0) {
+      EXPECT_GE(dist[v], base[v]);
+    }
+  }
+}
+
+TEST(Bfs, BlockedSourceRejected) {
+  const DeBruijnGraph g(2, 3, Orientation::Undirected);
+  std::vector<bool> blocked(g.vertex_count(), false);
+  blocked[0] = true;
+  EXPECT_THROW(bfs_distances_avoiding(g, 0, blocked), ContractViolation);
+}
+
+TEST(Bfs, SelfDistanceIsZero) {
+  const DeBruijnGraph g(2, 4, Orientation::Undirected);
+  const auto dist = bfs_distances(g, 9);
+  EXPECT_EQ(dist[9], 0);
+  EXPECT_EQ(bfs_shortest_path(g, 9, 9), (std::vector<std::uint64_t>{9}));
+}
+
+TEST(Bfs, EccentricityBoundedByDiameter) {
+  const DeBruijnGraph g(2, 5, Orientation::Undirected);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    const int e = eccentricity(g, v);
+    EXPECT_GE(e, 1);
+    EXPECT_LE(e, 5);
+  }
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contract.hpp"
+#include "debruijn/bfs.hpp"
+#include "net/broadcast.hpp"
+#include "testing_util.hpp"
+
+namespace dbn::net {
+namespace {
+
+TEST(Broadcast, TreeIsASpanningTreeOfGraphEdges) {
+  for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+    const DeBruijnGraph g(2, 5, o);
+    const BroadcastTree tree = build_broadcast_tree(g, 3);
+    std::uint64_t edges = 0;
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      if (v == tree.root) {
+        EXPECT_EQ(tree.parent[v], -1);
+        EXPECT_EQ(tree.depth[v], 0);
+        continue;
+      }
+      ASSERT_GE(tree.parent[v], 0);
+      const auto p = static_cast<std::uint64_t>(tree.parent[v]);
+      EXPECT_TRUE(g.has_edge(p, v)) << "tree edge " << p << "->" << v;
+      EXPECT_EQ(tree.depth[v], tree.depth[p] + 1);
+      ++edges;
+    }
+    EXPECT_EQ(edges, g.vertex_count() - 1);
+  }
+}
+
+TEST(Broadcast, DepthsEqualBfsDistances) {
+  const DeBruijnGraph g(3, 3, Orientation::Undirected);
+  for (std::uint64_t root = 0; root < g.vertex_count(); root += 4) {
+    const BroadcastTree tree = build_broadcast_tree(g, root);
+    const auto dist = bfs_distances(g, root);
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_EQ(tree.depth[v], dist[v]);
+    }
+    EXPECT_EQ(tree.height, eccentricity(g, root));
+  }
+}
+
+TEST(Broadcast, ChildrenAndParentsAreConsistent) {
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 0);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    for (const std::uint64_t c : tree.children[v]) {
+      EXPECT_EQ(tree.parent[c], static_cast<std::int64_t>(v));
+      EXPECT_TRUE(seen.insert(c).second) << "vertex with two parents";
+    }
+  }
+  EXPECT_EQ(seen.size(), g.vertex_count() - 1);
+}
+
+TEST(Broadcast, AllPortCompletesAtTreeHeight) {
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 5);
+  const BroadcastSchedule sched = schedule_broadcast(tree, PortModel::AllPort);
+  EXPECT_EQ(sched.completion, tree.height);
+  EXPECT_EQ(sched.messages, g.vertex_count() - 1);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(sched.receive_round[v], tree.depth[v]);
+  }
+}
+
+TEST(Broadcast, SinglePortIsSlowerButBounded) {
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 0);
+  const BroadcastSchedule all = schedule_broadcast(tree, PortModel::AllPort);
+  const BroadcastSchedule single =
+      schedule_broadcast(tree, PortModel::SinglePort);
+  EXPECT_GE(single.completion, all.completion);
+  // A site has at most 2d children, so each level adds at most 2d rounds.
+  EXPECT_LE(single.completion, tree.height * 2 * 2);
+  // Receive rounds are consistent: child strictly after parent.
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    if (tree.parent[v] >= 0) {
+      EXPECT_GT(single.receive_round[v],
+                single.receive_round[static_cast<std::uint64_t>(tree.parent[v])]);
+    }
+  }
+}
+
+TEST(Broadcast, SinglePortSiblingsUseDistinctRounds) {
+  const DeBruijnGraph g(3, 3, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 7);
+  const BroadcastSchedule single =
+      schedule_broadcast(tree, PortModel::SinglePort);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    std::set<int> rounds;
+    for (const std::uint64_t c : tree.children[v]) {
+      EXPECT_TRUE(rounds.insert(single.receive_round[c]).second)
+          << "two children of " << v << " served in the same round";
+    }
+  }
+}
+
+TEST(Broadcast, RejectsBadRoot) {
+  const DeBruijnGraph g(2, 3, Orientation::Undirected);
+  EXPECT_THROW(build_broadcast_tree(g, 8), ContractViolation);
+}
+
+TEST(Reduce, AllPortCompletesAtTreeHeight) {
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 9);
+  const ReduceSchedule reduce = schedule_reduce(tree, PortModel::AllPort);
+  EXPECT_EQ(reduce.completion, tree.height);
+  EXPECT_EQ(reduce.messages, g.vertex_count() - 1);
+  EXPECT_EQ(reduce.send_round[tree.root], 0);
+}
+
+TEST(Reduce, ChildrenSendBeforeParents) {
+  const DeBruijnGraph g(3, 3, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 4);
+  for (PortModel model : {PortModel::AllPort, PortModel::SinglePort}) {
+    const ReduceSchedule reduce = schedule_reduce(tree, model);
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      for (const std::uint64_t c : tree.children[v]) {
+        // c's message leaves strictly after all of c's own children landed.
+        for (const std::uint64_t gc : tree.children[c]) {
+          EXPECT_LT(reduce.send_round[gc], reduce.send_round[c]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Reduce, SinglePortSerializesSiblingArrivals) {
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  const BroadcastTree tree = build_broadcast_tree(g, 0);
+  const ReduceSchedule single = schedule_reduce(tree, PortModel::SinglePort);
+  const ReduceSchedule all = schedule_reduce(tree, PortModel::AllPort);
+  EXPECT_GE(single.completion, all.completion);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    std::set<int> rounds;
+    for (const std::uint64_t c : tree.children[v]) {
+      EXPECT_TRUE(rounds.insert(single.send_round[c]).second)
+          << "two children of " << v << " arrive in the same round";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbn::net

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(Contract, RequireThrowsWithContext) {
+  try {
+    DBN_REQUIRE(1 == 2, "custom message");
+    FAIL() << "DBN_REQUIRE must throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contract, AssertLabelsInvariant) {
+  try {
+    DBN_ASSERT(false, "broken");
+    FAIL() << "DBN_ASSERT must throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DiffersAcrossSeeds) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a() == b());
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.below(kBuckets)];
+  }
+  for (int c : counts) {
+    // Expected 10000 per bucket; 5-sigma band is about +-470.
+    EXPECT_NEAR(c, kDraws / kBuckets, 600);
+  }
+}
+
+TEST(Rng, BetweenCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  const double rate = 4.0;
+  double sum = 0;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = rng.exponential(rate);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 40000, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng parent(123);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a() == b());
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+  EXPECT_THROW(rng.between(3, 2), ContractViolation);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+}
+
+TEST(Table, PrintsAlignedColumnsWithRule) {
+  Table table({"k", "value"});
+  table.add_row({"1", "0.5000"});
+  table.add_row({"10", "1.2500"});
+  std::ostringstream os;
+  table.print(os, "caption");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("caption"), std::string::npos);
+  EXPECT_NE(out.find("k"), std::string::npos);
+  EXPECT_NE(out.find("0.5000"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), ContractViolation);
+}
+
+TEST(Table, NumFormatsFixedDecimals) {
+  EXPECT_EQ(Table::num(1.0, 2), "1.00");
+  EXPECT_EQ(Table::num(0.125, 3), "0.125");
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/distance.hpp"
+#include "debruijn/bfs.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+using dbn::testing::DkParam;
+
+class DistanceGrid : public ::testing::TestWithParam<DkParam> {};
+
+TEST_P(DistanceGrid, DirectedFormulaMatchesBfsAllPairs) {
+  const auto [d, k] = GetParam();
+  const DeBruijnGraph g(d, k, Orientation::Directed);
+  for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+    const Word x = g.word(xr);
+    const std::vector<int> dist = bfs_distances(g, xr);
+    for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+      EXPECT_EQ(directed_distance(x, g.word(yr)), dist[yr])
+          << "X=" << x.to_string() << " Y=" << g.word(yr).to_string();
+    }
+  }
+}
+
+TEST_P(DistanceGrid, UndirectedFormulaMatchesBfsAllPairs) {
+  const auto [d, k] = GetParam();
+  const DeBruijnGraph g(d, k, Orientation::Undirected);
+  for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+    const Word x = g.word(xr);
+    const std::vector<int> dist = bfs_distances(g, xr);
+    for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+      const Word y = g.word(yr);
+      const int quadratic = undirected_distance_quadratic(x, y);
+      EXPECT_EQ(quadratic, dist[yr])
+          << "Theorem 2 (O(k^2) scan) X=" << x.to_string()
+          << " Y=" << y.to_string();
+      EXPECT_EQ(undirected_distance(x, y), quadratic)
+          << "suffix-tree distance X=" << x.to_string()
+          << " Y=" << y.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrid, DistanceGrid,
+                         ::testing::ValuesIn(dbn::testing::small_grid()),
+                         ::testing::PrintToStringParamName());
+
+TEST(Distance, LinearAndQuadraticAgreeOnLargeRandomWords) {
+  Rng rng(2024);
+  for (const auto& [d, k] : dbn::testing::large_grid()) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const Word x = testing::random_word(rng, d, k);
+      const Word y = testing::random_word(rng, d, k);
+      EXPECT_EQ(undirected_distance(x, y), undirected_distance_quadratic(x, y))
+          << "d=" << d << " k=" << k << " X=" << x.to_string()
+          << " Y=" << y.to_string();
+    }
+  }
+}
+
+TEST(Distance, UndirectedSymmetryOnRandomWords) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t d = 2 + trial % 3;
+    const std::size_t k = 1 + rng.below(24);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    EXPECT_EQ(undirected_distance(x, y), undirected_distance(y, x))
+        << "X=" << x.to_string() << " Y=" << y.to_string();
+  }
+}
+
+TEST(Distance, UndirectedNeverExceedsDirected) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t d = 2 + trial % 3;
+    const std::size_t k = 1 + rng.below(16);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    EXPECT_LE(undirected_distance(x, y), directed_distance(x, y));
+  }
+}
+
+TEST(Distance, ZeroIffEqual) {
+  Rng rng(2027);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint32_t d = 2 + trial % 4;
+    const std::size_t k = 1 + rng.below(12);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    EXPECT_EQ(directed_distance(x, x), 0);
+    EXPECT_EQ(undirected_distance(x, x), 0);
+    if (!(x == y)) {
+      EXPECT_GT(directed_distance(x, y), 0);
+      EXPECT_GT(undirected_distance(x, y), 0);
+    }
+  }
+}
+
+TEST(Distance, PaperExampleZerosToOnes) {
+  // Section 2: D((0,...,0), (1,...,1)) = k in both variants.
+  for (std::size_t k : {1u, 4u, 9u}) {
+    const Word zeros = Word::zero(2, k);
+    const Word ones(2, std::vector<Digit>(k, 1));
+    EXPECT_EQ(directed_distance(zeros, ones), static_cast<int>(k));
+    EXPECT_EQ(undirected_distance(zeros, ones), static_cast<int>(k));
+  }
+}
+
+TEST(Distance, ClosedFormEquation5) {
+  // delta(2,k) = k - 1 + 2^-k (paper's worked special case).
+  for (std::size_t k = 1; k <= 20; ++k) {
+    EXPECT_NEAR(directed_average_distance_closed_form(2, k),
+                static_cast<double>(k) - 1.0 + std::pow(0.5, k), 1e-12);
+  }
+}
+
+TEST(Distance, ExactHistogramMatchesBfsEnumeration) {
+  for (const auto& [d, k] : dbn::testing::small_grid()) {
+    if (Word::vertex_count(d, k) > 300) {
+      continue;
+    }
+    const DeBruijnGraph g(d, k, Orientation::Directed);
+    std::vector<std::uint64_t> histogram(k + 1, 0);
+    for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+      const std::vector<int> dist = bfs_distances(g, xr);
+      for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+        ++histogram[static_cast<std::size_t>(dist[yr])];
+      }
+    }
+    EXPECT_EQ(histogram, directed_distance_histogram_exact(d, k))
+        << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(Distance, ExactAverageMatchesBfsAverage) {
+  for (const auto& [d, k] : dbn::testing::small_grid()) {
+    const DeBruijnGraph g(d, k, Orientation::Directed);
+    EXPECT_NEAR(average_distance(g), directed_average_distance_exact(d, k),
+                1e-9)
+        << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(Distance, Equation5IsAnUpperBoundExactOnlyForK1) {
+  // Reproduction finding (EXPERIMENTS.md, E5): the paper's equation (5)
+  // assumes overlap events are nested and therefore slightly overestimates
+  // the true average for k >= 2.
+  for (std::uint32_t d : {2u, 3u, 5u}) {
+    EXPECT_NEAR(directed_average_distance_exact(d, 1),
+                directed_average_distance_closed_form(d, 1), 1e-12);
+  }
+  // Hand-checked counterexample: DG(2,2) has average 18/16 = 1.125, while
+  // equation (5) gives 1.25.
+  EXPECT_NEAR(directed_average_distance_exact(2, 2), 1.125, 1e-12);
+  EXPECT_NEAR(directed_average_distance_closed_form(2, 2), 1.25, 1e-12);
+  for (const auto& [d, k] : dbn::testing::small_grid()) {
+    const double exact = directed_average_distance_exact(d, k);
+    const double eq5 = directed_average_distance_closed_form(d, k);
+    EXPECT_LE(exact, eq5 + 1e-12) << "d=" << d << " k=" << k;
+    // Measured: the gap saturates near 0.62 for d=2 and shrinks with d
+    // (~0.18 for d=3, ~0.08 for d=4); bound it by 1.4/d.
+    EXPECT_LT(eq5 - exact, 1.4 / d) << "d=" << d << " k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "debruijn/dot.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Dot, DirectedExportHasAllArcs) {
+  const DeBruijnGraph g(2, 3, Orientation::Directed);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  // N*d = 16 arcs.
+  EXPECT_EQ(count_occurrences(dot, " -> "), 16u);
+  EXPECT_NE(dot.find("\"000\""), std::string::npos);
+  EXPECT_NE(dot.find("\"111\""), std::string::npos);
+  // Self-loop at the constant words.
+  EXPECT_NE(dot.find("\"000\" -> \"000\""), std::string::npos);
+}
+
+TEST(Dot, UndirectedExportDeduplicatesEdges) {
+  const DeBruijnGraph g(2, 3, Orientation::Undirected);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("graph"), std::string::npos);
+  EXPECT_EQ(dot.find("digraph"), std::string::npos);
+  // The undirected DG(2,3) has 13 edges (Figure 1(b)).
+  EXPECT_EQ(count_occurrences(dot, " -- "), 13u);
+}
+
+TEST(Dot, RankLabelsWhenRequested) {
+  const DeBruijnGraph g(2, 2, Orientation::Directed);
+  const std::string dot = to_dot(g, /*word_labels=*/false);
+  EXPECT_EQ(dot.find('"'), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+}
+
+TEST(Dot, GuardsHugeGraphs) {
+  const DeBruijnGraph g(2, 20, Orientation::Directed);
+  EXPECT_THROW(to_dot(g), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

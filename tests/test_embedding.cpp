@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "debruijn/embedding.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(Embedding, RingHasDilationOne) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 4}, {3, 3}, {4, 2}}) {
+    const auto ring = ring_embedding(d, k);
+    const DeBruijnGraph g(d, k, Orientation::Undirected);
+    ASSERT_EQ(ring.size(), g.vertex_count());
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(ring[i], ring[(i + 1) % ring.size()]));
+    }
+  }
+}
+
+TEST(Embedding, LinearArrayHasDilationOne) {
+  const auto line = linear_array_embedding(2, 5);
+  const DeBruijnGraph g(2, 5, Orientation::Undirected);
+  ASSERT_EQ(line.size(), g.vertex_count());
+  const std::set<std::uint64_t> distinct(line.begin(), line.end());
+  EXPECT_EQ(distinct.size(), line.size());
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(line[i], line[i + 1]));
+  }
+}
+
+TEST(Embedding, CompleteBinaryTreeEdgesAreLeftShifts) {
+  for (std::size_t k : {2u, 3u, 5u, 8u}) {
+    const auto node = complete_binary_tree_embedding(k);
+    const DeBruijnGraph g(2, k, Orientation::Directed);
+    ASSERT_EQ(node.size(), g.vertex_count());
+    std::set<std::uint64_t> used;
+    for (std::uint64_t i = 1; i < node.size(); ++i) {
+      EXPECT_TRUE(used.insert(node[i]).second) << "collision at heap " << i;
+      if (2 * i < node.size()) {
+        EXPECT_TRUE(g.has_edge(node[i], node[2 * i]))
+            << "left child edge broken at " << i;
+        EXPECT_TRUE(g.has_edge(node[i], node[2 * i + 1]))
+            << "right child edge broken at " << i;
+      }
+    }
+    // The all-zero vertex is never used (heap indices start at 1).
+    EXPECT_FALSE(used.contains(0));
+  }
+}
+
+TEST(Embedding, ShuffleEmulationIsOneHop) {
+  Rng rng(33);
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word w = testing::random_word(rng, 2, 6);
+    const auto hop = shuffle_emulation(w);
+    ASSERT_EQ(hop.size(), 2u);
+    EXPECT_EQ(hop[0], w);
+    // sigma(w) is the left rotation of w.
+    Word expected = w;
+    expected.left_shift_inplace(w.digit(0));
+    EXPECT_EQ(hop[1], expected);
+    if (hop[1] != w) {
+      EXPECT_TRUE(g.has_edge(w.rank(), hop[1].rank()));
+    }
+  }
+}
+
+TEST(Embedding, ExchangeEmulationFlipsLastBitInTwoHops) {
+  Rng rng(44);
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Word w = testing::random_word(rng, 2, 6);
+    const auto path = exchange_emulation(w);
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], w);
+    // Endpoint has the last bit flipped, everything else equal.
+    for (std::size_t i = 0; i + 1 < w.length(); ++i) {
+      EXPECT_EQ(path[2].digit(i), w.digit(i));
+    }
+    EXPECT_EQ(path[2].digit(w.length() - 1), 1 - w.digit(w.length() - 1));
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i] != path[i + 1]) {
+        EXPECT_TRUE(g.has_edge(path[i].rank(), path[i + 1].rank()));
+      }
+    }
+  }
+}
+
+TEST(Embedding, EmulationsRequireBinaryWords) {
+  const Word w(3, {0, 1, 2});
+  EXPECT_THROW(shuffle_emulation(w), ContractViolation);
+  EXPECT_THROW(exchange_emulation(w), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "debruijn/bfs.hpp"
+#include "debruijn/generalized.hpp"
+#include "debruijn/graph.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(GeneralizedDeBruijn, CoincidesWithDirectedDGWhenNIsAPower) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 5}, {3, 3}, {5, 2}}) {
+    const std::uint64_t n = Word::vertex_count(d, k);
+    const GeneralizedDeBruijn gb(n, d);
+    const DeBruijnGraph dg(d, k, Orientation::Directed);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      EXPECT_EQ(gb.out_neighbors(v), dg.neighbors(v)) << "v=" << v;
+    }
+    EXPECT_EQ(gb.diameter(), static_cast<int>(k));
+  }
+}
+
+TEST(GeneralizedDeBruijn, ImaseItohDiameterBoundHolds) {
+  // Theorem (Imase-Itoh 1981): diameter(GB(n,d)) <= ceil(log_d n).
+  for (std::uint32_t d : {2u, 3u, 4u}) {
+    for (std::uint64_t n = 2; n <= 200; n += 7) {
+      const GeneralizedDeBruijn gb(n, d);
+      const int diam = gb.diameter();
+      ASSERT_GE(diam, 0) << "GB(" << n << "," << d << ") not connected";
+      int ceil_log = 0;
+      std::uint64_t power = 1;
+      while (power < n) {
+        power *= d;
+        ++ceil_log;
+      }
+      EXPECT_LE(diam, ceil_log) << "GB(" << n << "," << d << ")";
+      EXPECT_GE(diam, directed_diameter_lower_bound(n, d))
+          << "GB(" << n << "," << d << ")";
+    }
+  }
+}
+
+TEST(GeneralizedDeBruijn, LowerBoundExamples) {
+  // 1 + d + ... + d^D >= n. d=2: n=4 -> D=2 (1+2+4=7 >= 4; 1+2=3 < 4).
+  EXPECT_EQ(directed_diameter_lower_bound(1, 2), 0);
+  EXPECT_EQ(directed_diameter_lower_bound(3, 2), 1);
+  EXPECT_EQ(directed_diameter_lower_bound(4, 2), 2);
+  EXPECT_EQ(directed_diameter_lower_bound(7, 2), 2);
+  EXPECT_EQ(directed_diameter_lower_bound(8, 2), 3);
+  EXPECT_EQ(directed_diameter_lower_bound(1000, 10), 3);
+}
+
+TEST(GeneralizedDeBruijn, DeBruijnDiameterIsWithinOneOfTheLowerBound) {
+  // The paper's "nearly optimal" claim (via [4]): diameter k vs the Moore
+  // bound for n = d^k vertices of out-degree d.
+  for (const auto& [d, k] : dbn::testing::small_grid()) {
+    const std::uint64_t n = Word::vertex_count(d, k);
+    const int bound = directed_diameter_lower_bound(n, d);
+    EXPECT_GE(static_cast<int>(k), bound);
+    EXPECT_LE(static_cast<int>(k), bound + 1) << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(GeneralizedDeBruijn, RejectsBadArguments) {
+  EXPECT_THROW(GeneralizedDeBruijn(0, 2), ContractViolation);
+  EXPECT_THROW(GeneralizedDeBruijn(10, 1), ContractViolation);
+  const GeneralizedDeBruijn gb(10, 2);
+  EXPECT_THROW(gb.out_neighbors(10), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/contract.hpp"
+#include "debruijn/graph.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+using dbn::testing::DkParam;
+
+class GraphGrid : public ::testing::TestWithParam<DkParam> {};
+
+TEST_P(GraphGrid, NeighborsMatchShiftDefinitions) {
+  const auto [d, k] = GetParam();
+  for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+    const DeBruijnGraph g(d, k, o);
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      const Word w = g.word(v);
+      std::set<std::uint64_t> expected;
+      for (Digit a = 0; a < d; ++a) {
+        expected.insert(w.left_shift(a).rank());
+        if (o == Orientation::Undirected) {
+          expected.insert(w.right_shift(a).rank());
+        }
+      }
+      if (o == Orientation::Undirected) {
+        expected.erase(v);
+      }
+      const auto got = g.neighbors(v);
+      const std::set<std::uint64_t> got_set(got.begin(), got.end());
+      if (o == Orientation::Undirected) {
+        EXPECT_EQ(got_set, expected) << "vertex " << w.to_string();
+        EXPECT_EQ(got.size(), got_set.size()) << "duplicates returned";
+      } else {
+        // Directed neighbors are the d left shifts (with multiplicity 1
+        // each; they are pairwise distinct).
+        EXPECT_EQ(got.size(), static_cast<std::size_t>(d));
+        std::set<std::uint64_t> left;
+        for (Digit a = 0; a < d; ++a) {
+          left.insert(w.left_shift(a).rank());
+        }
+        EXPECT_EQ(got_set, left);
+      }
+    }
+  }
+}
+
+TEST_P(GraphGrid, HasEdgeAgreesWithNeighbors) {
+  const auto [d, k] = GetParam();
+  if (Word::vertex_count(d, k) > 128) {
+    GTEST_SKIP() << "quadratic probe too large";
+  }
+  for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+    const DeBruijnGraph g(d, k, o);
+    for (std::uint64_t u = 0; u < g.vertex_count(); ++u) {
+      const auto nbrs = g.neighbors(u);
+      const std::set<std::uint64_t> nbr_set(nbrs.begin(), nbrs.end());
+      for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+        if (o == Orientation::Undirected && u == v) {
+          EXPECT_FALSE(g.has_edge(u, v));
+          continue;
+        }
+        EXPECT_EQ(g.has_edge(u, v), nbr_set.contains(v))
+            << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrid, GraphGrid,
+                         ::testing::ValuesIn(dbn::testing::small_grid()),
+                         ::testing::PrintToStringParamName());
+
+TEST(Graph, DirectedDegreeCensusMatchesPaper) {
+  // Paper §1: the directed DG(d,k) has N-d vertices of degree 2d and d
+  // vertices (the constant words, whose self-loop is removed) of degree
+  // 2d-2.
+  for (const auto& [d, k] : dbn::testing::small_grid()) {
+    if (k < 2) {
+      continue;  // k = 1 is the complete-graph degenerate case
+    }
+    const DeBruijnGraph g(d, k, Orientation::Directed);
+    const auto census = g.degree_census();
+    const std::uint64_t n = g.vertex_count();
+    ASSERT_EQ(census.size(), 2u) << "d=" << d << " k=" << k;
+    EXPECT_EQ(census.at(2 * d), n - d) << "d=" << d << " k=" << k;
+    EXPECT_EQ(census.at(2 * d - 2), d) << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(Graph, UndirectedDegreeCensusMatchesPaper) {
+  // Paper §1 (with the OCR-garbled sentence reconstructed, DESIGN.md):
+  // N-d^2 vertices of degree 2d, d^2-d vertices (period-2 non-constant
+  // words) of degree 2d-1, and d constant words of degree 2d-2.
+  for (const auto& [d, k] : dbn::testing::small_grid()) {
+    if (k < 3) {
+      continue;  // small k degenerates (period-2 words are everything)
+    }
+    const DeBruijnGraph g(d, k, Orientation::Undirected);
+    const auto census = g.degree_census();
+    const std::uint64_t n = g.vertex_count();
+    ASSERT_EQ(census.size(), 3u) << "d=" << d << " k=" << k;
+    EXPECT_EQ(census.at(2 * d), n - static_cast<std::uint64_t>(d) * d)
+        << "d=" << d << " k=" << k;
+    EXPECT_EQ(census.at(2 * d - 1), static_cast<std::uint64_t>(d) * (d - 1))
+        << "d=" << d << " k=" << k;
+    EXPECT_EQ(census.at(2 * d - 2), d) << "d=" << d << " k=" << k;
+  }
+}
+
+TEST(Graph, Figure1DirectedDG23EdgeList) {
+  // Figure 1(a): directed DG(2,3) — spot-check the picture's arcs.
+  const DeBruijnGraph g(2, 3, Orientation::Directed);
+  const Word v000(2, {0, 0, 0}), v001(2, {0, 0, 1}), v010(2, {0, 1, 0}),
+      v011(2, {0, 1, 1}), v100(2, {1, 0, 0}), v111(2, {1, 1, 1});
+  EXPECT_TRUE(g.has_edge(v000.rank(), v000.rank()));  // self-loop arc
+  EXPECT_TRUE(g.has_edge(v000.rank(), v001.rank()));
+  EXPECT_TRUE(g.has_edge(v001.rank(), v010.rank()));
+  EXPECT_TRUE(g.has_edge(v001.rank(), v011.rank()));
+  EXPECT_TRUE(g.has_edge(v100.rank(), v000.rank()));
+  EXPECT_FALSE(g.has_edge(v000.rank(), v100.rank()));  // wrong direction
+  EXPECT_FALSE(g.has_edge(v000.rank(), v011.rank()));
+  EXPECT_FALSE(g.has_edge(v111.rank(), v000.rank()));
+}
+
+TEST(Graph, Figure1UndirectedDG23IsSymmetric) {
+  const DeBruijnGraph g(2, 3, Orientation::Undirected);
+  for (std::uint64_t u = 0; u < g.vertex_count(); ++u) {
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      EXPECT_EQ(g.has_edge(u, v), g.has_edge(v, u));
+    }
+  }
+  // (0,0,0)-(1,0,0) is an edge in the undirected graph.
+  EXPECT_TRUE(g.has_edge(0, 4));
+}
+
+TEST(Graph, ArcCountMatchesNd) {
+  // Paper §1: there are N*d arcs (before removing redundancy).
+  for (std::uint32_t d : {2u, 3u}) {
+    const std::size_t k = 3;
+    const DeBruijnGraph g(d, k, Orientation::Directed);
+    std::uint64_t arcs = 0;
+    for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+      arcs += g.neighbors(v).size();
+    }
+    EXPECT_EQ(arcs, g.vertex_count() * d);
+  }
+}
+
+TEST(Graph, AdjacencyGuardsMaterialization) {
+  const DeBruijnGraph g(2, 30, Orientation::Directed);
+  EXPECT_THROW(g.adjacency(1 << 10), ContractViolation);
+  EXPECT_THROW(g.degree_census(1 << 10), ContractViolation);
+}
+
+TEST(Graph, RankShiftHelpersRejectBadArguments) {
+  const DeBruijnGraph g(2, 3, Orientation::Directed);
+  EXPECT_THROW(g.left_shift_rank(8, 0), ContractViolation);
+  EXPECT_THROW(g.left_shift_rank(0, 2), ContractViolation);
+  EXPECT_THROW(g.right_shift_rank(0, 3), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

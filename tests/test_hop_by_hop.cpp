@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "core/distance.hpp"
+#include "core/hop_by_hop.hpp"
+#include "debruijn/bfs.hpp"
+#include "net/simulator.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+using dbn::testing::DkParam;
+
+class HopByHopGrid : public ::testing::TestWithParam<DkParam> {};
+
+TEST_P(HopByHopGrid, GreedyWalkIsExactAllPairs) {
+  const auto [d, k] = GetParam();
+  if (Word::vertex_count(d, k) > 128) {
+    GTEST_SKIP() << "all-pairs walk too large";
+  }
+  for (Orientation o : {Orientation::Directed, Orientation::Undirected}) {
+    const DeBruijnGraph g(d, k, o);
+    for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+      const std::vector<int> dist = bfs_distances(g, xr);
+      for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+        const auto walk = greedy_walk(g.word(xr), g.word(yr), o);
+        EXPECT_EQ(static_cast<int>(walk.size()) - 1, dist[yr])
+            << "X=" << g.word(xr).to_string()
+            << " Y=" << g.word(yr).to_string();
+        EXPECT_EQ(walk.front(), g.word(xr));
+        EXPECT_EQ(walk.back(), g.word(yr));
+        // Every step is a real edge (or a degenerate self-shift never
+        // occurs, because greedy strictly decreases the distance).
+        for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+          EXPECT_TRUE(g.has_edge(walk[i].rank(), walk[i + 1].rank()));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGrid, HopByHopGrid,
+                         ::testing::ValuesIn(dbn::testing::small_grid()),
+                         ::testing::PrintToStringParamName());
+
+TEST(HopByHop, LargeRandomPairsMatchDistance) {
+  Rng rng(91);
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 16}, {3, 9}, {5, 6}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const Word x = testing::random_word(rng, d, k);
+      const Word y = testing::random_word(rng, d, k);
+      const auto walk = greedy_walk(x, y, Orientation::Undirected);
+      EXPECT_EQ(static_cast<int>(walk.size()) - 1, undirected_distance(x, y));
+      const auto dwalk = greedy_walk(x, y, Orientation::Directed);
+      EXPECT_EQ(static_cast<int>(dwalk.size()) - 1, directed_distance(x, y));
+    }
+  }
+}
+
+TEST(HopByHop, NextHopRequiresDistinctEndpoints) {
+  const Word x(2, {0, 1});
+  EXPECT_THROW(next_hop_unidirectional(x, x), ContractViolation);
+  EXPECT_THROW(next_hop_bidirectional(x, x), ContractViolation);
+}
+
+TEST(HopByHop, SimulatorHopByHopDeliversWithOptimalHops) {
+  net::SimConfig config;
+  config.radix = 2;
+  config.k = 5;
+  config.forwarding = net::ForwardingMode::HopByHop;
+  net::Simulator sim(config);
+  Rng rng(92);
+  std::uint64_t expected_hops = 0;
+  const int messages = 100;
+  for (int i = 0; i < messages; ++i) {
+    const Word src = testing::random_word(rng, 2, 5);
+    const Word dst = testing::random_word(rng, 2, 5);
+    expected_hops += static_cast<std::uint64_t>(undirected_distance(src, dst));
+    // No path field at all: sites compute everything.
+    sim.inject(0.2 * i, net::Message(net::ControlCode::Data, src, dst,
+                                     RoutingPath{}));
+  }
+  sim.run();
+  EXPECT_EQ(sim.stats().delivered, static_cast<std::uint64_t>(messages));
+  EXPECT_EQ(sim.stats().misdelivered, 0u);
+  EXPECT_EQ(sim.stats().total_hops, expected_hops);
+}
+
+TEST(HopByHop, SimulatorDirectedHopByHop) {
+  net::SimConfig config;
+  config.radix = 3;
+  config.k = 3;
+  config.orientation = Orientation::Directed;
+  config.forwarding = net::ForwardingMode::HopByHop;
+  net::Simulator sim(config);
+  Rng rng(93);
+  std::uint64_t expected_hops = 0;
+  for (int i = 0; i < 50; ++i) {
+    const Word src = testing::random_word(rng, 3, 3);
+    const Word dst = testing::random_word(rng, 3, 3);
+    expected_hops += static_cast<std::uint64_t>(directed_distance(src, dst));
+    sim.inject(0.5 * i, net::Message(net::ControlCode::Data, src, dst,
+                                     RoutingPath{}));
+  }
+  sim.run();
+  EXPECT_EQ(sim.stats().delivered, 50u);
+  EXPECT_EQ(sim.stats().total_hops, expected_hops);
+}
+
+}  // namespace
+}  // namespace dbn

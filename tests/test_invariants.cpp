@@ -1,0 +1,145 @@
+// Structural/metric invariants of the distance functions, checked on
+// random words far beyond the sizes where BFS validation is possible.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/distance.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+Word permuted_digits(const Word& w, const std::vector<Digit>& pi) {
+  std::vector<Digit> digits(w.length());
+  for (std::size_t i = 0; i < w.length(); ++i) {
+    digits[i] = pi[w.digit(i)];
+  }
+  return Word(w.radix(), std::move(digits));
+}
+
+TEST(Invariants, TriangleInequalityOnRandomTriples) {
+  Rng rng(501);
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::uint32_t d = 2 + trial % 3;
+    const std::size_t k = 1 + rng.below(20);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    const Word z = testing::random_word(rng, d, k);
+    EXPECT_LE(undirected_distance(x, z),
+              undirected_distance(x, y) + undirected_distance(y, z));
+    EXPECT_LE(directed_distance(x, z),
+              directed_distance(x, y) + directed_distance(y, z));
+  }
+}
+
+TEST(Invariants, BellmanConditionOnRandomPairs) {
+  // D(X,Y) <= 1 + min over neighbors Z of X of D(Z,Y), with equality when
+  // D(X,Y) > 0 — exactly what makes greedy hop-by-hop routing exact.
+  Rng rng(502);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::uint32_t d = 2 + trial % 2;
+    const std::size_t k = 2 + rng.below(12);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    if (x == y) {
+      continue;
+    }
+    const int here = undirected_distance(x, y);
+    int best = here + 2;
+    for (Digit a = 0; a < d; ++a) {
+      best = std::min(best, undirected_distance(x.left_shift(a), y));
+      best = std::min(best, undirected_distance(x.right_shift(a), y));
+    }
+    EXPECT_EQ(here, best + 1) << "X=" << x.to_string() << " Y=" << y.to_string();
+  }
+}
+
+TEST(Invariants, ReversalIsAnAutomorphismOfTheUndirectedGraph) {
+  // Word reversal swaps left and right shifts, so it preserves undirected
+  // adjacency and hence distances: D(X,Y) = D(reverse(X), reverse(Y)).
+  Rng rng(503);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t d = 2 + trial % 4;
+    const std::size_t k = 1 + rng.below(24);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    EXPECT_EQ(undirected_distance(x, y),
+              undirected_distance(x.reversed(), y.reversed()));
+  }
+}
+
+TEST(Invariants, ReversalIsAnAntiAutomorphismOfTheDirectedGraph) {
+  // Reversal maps the arc X -> X^-(a) to reverse(X)^+(a) -> reverse(X),
+  // i.e. it reverses arcs: D(X,Y) = D(reverse(Y), reverse(X)).
+  Rng rng(504);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t d = 2 + trial % 4;
+    const std::size_t k = 1 + rng.below(24);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    EXPECT_EQ(directed_distance(x, y),
+              directed_distance(y.reversed(), x.reversed()));
+  }
+}
+
+TEST(Invariants, DigitPermutationIsAnAutomorphism) {
+  // Relabeling the alphabet commutes with both shift operations.
+  Rng rng(505);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t d = 2 + trial % 4;
+    const std::size_t k = 1 + rng.below(20);
+    std::vector<Digit> pi(d);
+    std::iota(pi.begin(), pi.end(), 0);
+    for (std::size_t i = d; i-- > 1;) {
+      std::swap(pi[i], pi[rng.below(i + 1)]);
+    }
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    EXPECT_EQ(undirected_distance(x, y),
+              undirected_distance(permuted_digits(x, pi),
+                                  permuted_digits(y, pi)));
+    EXPECT_EQ(directed_distance(x, y),
+              directed_distance(permuted_digits(x, pi),
+                                permuted_digits(y, pi)));
+  }
+}
+
+TEST(Invariants, DistanceBounds) {
+  Rng rng(506);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint32_t d = 2 + trial % 4;
+    const std::size_t k = 1 + rng.below(30);
+    const Word x = testing::random_word(rng, d, k);
+    const Word y = testing::random_word(rng, d, k);
+    const int ud = undirected_distance(x, y);
+    const int dd = directed_distance(x, y);
+    EXPECT_GE(ud, 0);
+    EXPECT_LE(ud, static_cast<int>(k));
+    EXPECT_LE(ud, dd);
+    EXPECT_LE(dd, static_cast<int>(k));
+  }
+}
+
+TEST(Invariants, UndirectedDistanceSometimesBeatsBothDirectedDirections) {
+  // Mixing L and R moves can beat the best single-direction route; verify
+  // the phenomenon exists (it is why Theorem 2 is not just Property 1
+  // twice).
+  // From 00000 to 10001 a mixed path R,R,L reaches in 3 moves (prepend 1,
+  // prepend anything, append 1), but any single-direction route must
+  // rebuild the whole word: both directed distances are 5.
+  const Word x(2, {0, 0, 0, 0, 0});
+  const Word y(2, {1, 0, 0, 0, 1});
+  const int ud = undirected_distance(x, y);
+  const int forward = directed_distance(x, y);
+  const int backward = directed_distance(y, x);
+  EXPECT_EQ(ud, 3);
+  EXPECT_EQ(forward, 5);
+  EXPECT_EQ(backward, 5);
+  EXPECT_LT(ud, std::min(forward, backward));
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/contract.hpp"
+#include "debruijn/kautz.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(Kautz, VertexCountIsDPlusOneTimesDToKMinusOne) {
+  EXPECT_EQ(KautzGraph(2, 1).vertex_count(), 3u);
+  EXPECT_EQ(KautzGraph(2, 3).vertex_count(), 12u);
+  EXPECT_EQ(KautzGraph(3, 3).vertex_count(), 36u);
+  EXPECT_EQ(KautzGraph(4, 2).vertex_count(), 20u);
+}
+
+TEST(Kautz, RankWordRoundTripsAndWordsAreValid) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 1}, {2, 4}, {3, 3}, {4, 2}}) {
+    const KautzGraph g(d, k);
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t r = 0; r < g.vertex_count(); ++r) {
+      const Word w = g.word(r);
+      EXPECT_EQ(w.length(), k);
+      EXPECT_EQ(w.radix(), d + 1);
+      for (std::size_t i = 1; i < k; ++i) {
+        EXPECT_NE(w.digit(i), w.digit(i - 1))
+            << "adjacent equal digits in " << w.to_string();
+      }
+      EXPECT_EQ(g.rank(w), r);
+      seen.insert(w.rank());  // base-(d+1) value: all distinct
+    }
+    EXPECT_EQ(seen.size(), g.vertex_count());
+  }
+}
+
+TEST(Kautz, OutNeighborsAreLeftShiftsWithDistinctAppend) {
+  const KautzGraph g(3, 3);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    const auto nbrs = g.out_neighbors(v);
+    EXPECT_EQ(nbrs.size(), 3u);  // exactly d
+    const Word w = g.word(v);
+    const std::set<std::uint64_t> nbr_set(nbrs.begin(), nbrs.end());
+    EXPECT_EQ(nbr_set.size(), nbrs.size());
+    for (const std::uint64_t u : nbrs) {
+      const Word next = g.word(u);
+      // (x2,...,xk) prefix preserved.
+      for (std::size_t i = 0; i + 1 < w.length(); ++i) {
+        EXPECT_EQ(next.digit(i), w.digit(i + 1));
+      }
+      EXPECT_NE(next.digit(w.length() - 1), w.digit(w.length() - 1));
+    }
+    // No self-loops in a Kautz graph.
+    EXPECT_FALSE(nbr_set.contains(v));
+  }
+}
+
+TEST(Kautz, DiameterIsExactlyK) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 1}, {2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}}) {
+    const KautzGraph g(d, k);
+    EXPECT_EQ(g.diameter(), static_cast<int>(k)) << "K(" << d << "," << k << ")";
+  }
+}
+
+TEST(Kautz, BeatsDeBruijnAtEqualDegreeAndDiameter) {
+  // K(d,k) has (d+1)/d times the vertices of DG(d,k) with the same
+  // out-degree d and the same diameter k.
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 3}, {3, 3}, {4, 2}}) {
+    const KautzGraph kautz(d, k);
+    const std::uint64_t debruijn = Word::vertex_count(d, k);
+    EXPECT_GT(kautz.vertex_count(), debruijn);
+    EXPECT_EQ(kautz.vertex_count(), debruijn / d * (d + 1));
+  }
+}
+
+TEST(Kautz, RejectsBadArguments) {
+  EXPECT_THROW(KautzGraph(1, 3), ContractViolation);
+  const KautzGraph g(2, 2);
+  EXPECT_THROW(g.word(12), ContractViolation);
+  EXPECT_THROW(g.rank(Word(3, {1, 1})), ContractViolation);
+  EXPECT_THROW(g.rank(Word(2, {0, 1})), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/contract.hpp"
+#include "debruijn/kautz_routing.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+std::vector<int> kautz_bfs(const KautzGraph& g, std::uint64_t source) {
+  std::vector<int> dist(g.vertex_count(), -1);
+  std::deque<std::uint64_t> frontier;
+  dist[source] = 0;
+  frontier.push_back(source);
+  while (!frontier.empty()) {
+    const std::uint64_t v = frontier.front();
+    frontier.pop_front();
+    for (const std::uint64_t w : g.out_neighbors(v)) {
+      if (dist[w] == -1) {
+        dist[w] = dist[v] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(KautzRouting, DistanceFormulaMatchesBfsAllPairs) {
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 1}, {2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 2}, {3, 3}, {4, 2},
+           {4, 3}, {5, 2}}) {
+    const KautzGraph g(d, k);
+    for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+      const Word x = g.word(xr);
+      const std::vector<int> dist = kautz_bfs(g, xr);
+      for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+        const Word y = g.word(yr);
+        EXPECT_EQ(kautz_directed_distance(g, x, y), dist[yr])
+            << "K(" << d << "," << k << ") X=" << x.to_string()
+            << " Y=" << y.to_string();
+      }
+    }
+  }
+}
+
+TEST(KautzRouting, PathsAreValidKautzWalks) {
+  const KautzGraph g(3, 4);
+  Rng rng(88);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Word x = g.word(rng.below(g.vertex_count()));
+    const Word y = g.word(rng.below(g.vertex_count()));
+    const RoutingPath path = kautz_route(g, x, y);
+    EXPECT_EQ(static_cast<int>(path.length()), kautz_directed_distance(g, x, y));
+    Word at = x;
+    for (const Hop& h : path.hops()) {
+      ASSERT_EQ(h.type, ShiftType::Left);
+      // Legal Kautz move: the appended digit differs from the last digit.
+      EXPECT_NE(h.digit, at.digit(at.length() - 1))
+          << "illegal move from " << at.to_string();
+      at = at.left_shift(h.digit);
+    }
+    EXPECT_EQ(at, y);
+  }
+}
+
+TEST(KautzRouting, SelfRouteIsEmpty) {
+  const KautzGraph g(2, 3);
+  const Word w = g.word(5);
+  EXPECT_TRUE(kautz_route(g, w, w).empty());
+  EXPECT_EQ(kautz_directed_distance(g, w, w), 0);
+}
+
+TEST(KautzRouting, RejectsNonKautzWords) {
+  const KautzGraph g(2, 3);
+  // (0,0,1) has equal adjacent digits — not a Kautz word.
+  EXPECT_THROW(kautz_route(g, Word(3, {0, 0, 1}), Word(3, {0, 1, 0})),
+               ContractViolation);
+  // Wrong radix.
+  EXPECT_THROW(kautz_route(g, Word(2, {0, 1, 0}), Word(2, {0, 1, 0})),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,123 @@
+// Heavy cross-kernel fuzzing: all five Theorem 2 engines (plus the naive
+// enumeration where affordable) against each other on structured,
+// adversarial and randomized word families. Any divergence means one of
+// the five independently derived algorithms is wrong.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/common_substring.hpp"
+#include "debruijn/sequence.hpp"
+#include "strings/matching.hpp"
+#include "strings/naive.hpp"
+#include "strings/suffix_automaton.hpp"
+#include "strings/suffix_array.hpp"
+#include "strings/zfunction.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+using strings::OverlapMin;
+using strings::Symbol;
+
+void expect_all_kernels_agree(const std::vector<Symbol>& x,
+                              const std::vector<Symbol>& y,
+                              const char* family) {
+  const int expected = strings::min_l_cost(x, y).cost;
+  EXPECT_EQ(strings::min_l_cost_z(x, y).cost, expected) << family;
+  EXPECT_EQ(min_l_cost_suffix_tree(x, y).cost, expected) << family;
+  EXPECT_EQ(strings::min_l_cost_suffix_automaton(x, y).cost, expected)
+      << family;
+  EXPECT_EQ(strings::min_l_cost_suffix_array(x, y).cost, expected) << family;
+  if (x.size() <= 16) {
+    EXPECT_EQ(strings::naive::min_l_cost(x, y).cost, expected) << family;
+  }
+}
+
+std::vector<Symbol> periodic(std::size_t k, const std::vector<Symbol>& motif) {
+  std::vector<Symbol> out(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = motif[i % motif.size()];
+  }
+  return out;
+}
+
+TEST(KernelFuzz, ConstantAndPeriodicWords) {
+  for (const std::size_t k : {1u, 2u, 3u, 7u, 16u, 33u}) {
+    expect_all_kernels_agree(periodic(k, {0}), periodic(k, {0}), "0^k vs 0^k");
+    expect_all_kernels_agree(periodic(k, {0}), periodic(k, {1}), "0^k vs 1^k");
+    expect_all_kernels_agree(periodic(k, {0, 1}), periodic(k, {1, 0}),
+                             "(01)* vs (10)*");
+    expect_all_kernels_agree(periodic(k, {0, 0, 1}), periodic(k, {0, 1}),
+                             "(001)* vs (01)*");
+  }
+}
+
+TEST(KernelFuzz, ReversalAndShiftPairs) {
+  Rng rng(777);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::uint32_t d = 2 + trial % 3;
+    const std::size_t k = 1 + rng.below(28);
+    const Word w = testing::random_word(rng, d, k);
+    const std::vector<Symbol> x(w.symbols().begin(), w.symbols().end());
+    // Against its own reversal.
+    std::vector<Symbol> rev(x.rbegin(), x.rend());
+    expect_all_kernels_agree(x, rev, "word vs reversal");
+    // Against a small rotation (adjacent vertices in the graph).
+    std::vector<Symbol> rot = x;
+    std::rotate(rot.begin(), rot.begin() + 1, rot.end());
+    expect_all_kernels_agree(x, rot, "word vs rotation");
+    // Against itself.
+    expect_all_kernels_agree(x, x, "word vs itself");
+  }
+}
+
+TEST(KernelFuzz, DeBruijnSequenceWindows) {
+  // Windows of a de Bruijn sequence share long overlaps — the structured
+  // regime the routing actually sees.
+  const auto seq = de_bruijn_sequence(2, 8);
+  const std::size_t k = 12;
+  Rng rng(778);
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t i = rng.below(seq.size() - k);
+    const std::size_t j = rng.below(seq.size() - k);
+    const std::vector<Symbol> x(seq.begin() + static_cast<long>(i),
+                                seq.begin() + static_cast<long>(i + k));
+    const std::vector<Symbol> y(seq.begin() + static_cast<long>(j),
+                                seq.begin() + static_cast<long>(j + k));
+    expect_all_kernels_agree(x, y, "de Bruijn windows");
+  }
+}
+
+TEST(KernelFuzz, LargeAlphabets) {
+  Rng rng(779);
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t k = 1 + rng.below(20);
+    std::vector<Symbol> x(k), y(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      // Huge sparse alphabet: stresses sentinel handling and map-based
+      // children in every suffix structure.
+      x[i] = static_cast<Symbol>(rng.below(1u << 20));
+      y[i] = rng.chance(0.3) ? x[i] : static_cast<Symbol>(rng.below(1u << 20));
+    }
+    expect_all_kernels_agree(x, y, "large alphabet");
+  }
+}
+
+TEST(KernelFuzz, LowEntropyBiasedWords) {
+  Rng rng(780);
+  for (int trial = 0; trial < 150; ++trial) {
+    const std::size_t k = 1 + rng.below(40);
+    std::vector<Symbol> x(k), y(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      x[i] = rng.chance(0.9) ? 0 : 1;  // long runs of zeros
+      y[i] = rng.chance(0.9) ? 0 : 1;
+    }
+    expect_all_kernels_agree(x, y, "low entropy");
+  }
+}
+
+}  // namespace
+}  // namespace dbn

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "debruijn/embedding.hpp"
+#include "debruijn/shuffle_exchange.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(ShuffleExchange, MoveDefinitions) {
+  const ShuffleExchangeGraph se(4);
+  // 0b0110: shuffle -> 0b1100, unshuffle -> 0b0011, exchange -> 0b0111.
+  EXPECT_EQ(se.shuffle(0b0110), 0b1100u);
+  EXPECT_EQ(se.unshuffle(0b0110), 0b0011u);
+  EXPECT_EQ(se.exchange(0b0110), 0b0111u);
+  // Rotation wraps the top bit.
+  EXPECT_EQ(se.shuffle(0b1000), 0b0001u);
+  EXPECT_EQ(se.unshuffle(0b0001), 0b1000u);
+}
+
+TEST(ShuffleExchange, ShuffleAndUnshuffleAreInverse) {
+  const ShuffleExchangeGraph se(6);
+  for (std::uint64_t v = 0; v < se.vertex_count(); ++v) {
+    EXPECT_EQ(se.unshuffle(se.shuffle(v)), v);
+    EXPECT_EQ(se.shuffle(se.unshuffle(v)), v);
+    EXPECT_EQ(se.exchange(se.exchange(v)), v);
+  }
+}
+
+TEST(ShuffleExchange, DegreeAtMostThree) {
+  const ShuffleExchangeGraph se(5);
+  for (std::uint64_t v = 0; v < se.vertex_count(); ++v) {
+    EXPECT_LE(se.neighbors(v).size(), 3u);
+    EXPECT_GE(se.neighbors(v).size(), 1u);
+  }
+}
+
+TEST(ShuffleExchange, DiameterIsRoughlyTwoK) {
+  // Known: diam(SE(k)) = 2k - 1 for k >= 2.
+  for (const std::size_t k : {2u, 3u, 4u, 5u, 6u, 7u}) {
+    const ShuffleExchangeGraph se(k);
+    EXPECT_EQ(se.diameter(), static_cast<int>(2 * k - 1)) << "k=" << k;
+  }
+}
+
+TEST(ShuffleExchange, DeBruijnEmulatesSeMovesWithDilationAtMostTwo) {
+  // The embedding module's claim, checked against this graph's own move
+  // definitions: every SE edge maps to <= 2 de Bruijn hops.
+  const std::size_t k = 5;
+  const ShuffleExchangeGraph se(k);
+  for (std::uint64_t v = 0; v < se.vertex_count(); ++v) {
+    const Word w = Word::from_rank(2, k, v);
+    const auto shuffled = shuffle_emulation(w);
+    EXPECT_EQ(shuffled.back().rank(), se.shuffle(v));
+    EXPECT_LE(shuffled.size() - 1, 1u);
+    const auto exchanged = exchange_emulation(w);
+    EXPECT_EQ(exchanged.back().rank(), se.exchange(v));
+    EXPECT_LE(exchanged.size() - 1, 2u);
+  }
+}
+
+TEST(ShuffleExchange, SeEmulatesDeBruijnMovesWithDilationAtMostTwo) {
+  // Conversely: a de Bruijn left shift (w -> w<<1 | b) is shuffle followed
+  // by at most one exchange in SE(k).
+  const std::size_t k = 5;
+  const ShuffleExchangeGraph se(k);
+  const DeBruijnGraph g(2, k, Orientation::Directed);
+  for (std::uint64_t v = 0; v < se.vertex_count(); ++v) {
+    for (Digit b = 0; b < 2; ++b) {
+      const std::uint64_t target = g.left_shift_rank(v, b);
+      const std::uint64_t after_shuffle = se.shuffle(v);
+      // Either the shuffle already lands on the target (rotated bit == b)
+      // or one exchange fixes the last bit.
+      EXPECT_TRUE(after_shuffle == target ||
+                  se.exchange(after_shuffle) == target);
+    }
+  }
+}
+
+TEST(ShuffleExchange, RejectsBadArguments) {
+  EXPECT_THROW(ShuffleExchangeGraph{0}, ContractViolation);
+  const ShuffleExchangeGraph se(3);
+  EXPECT_THROW(se.shuffle(8), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

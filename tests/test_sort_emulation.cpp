@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "net/sort_emulation.hpp"
+#include "testing_util.hpp"
+
+namespace dbn::net {
+namespace {
+
+TEST(SortEmulation, SortsRandomInputs) {
+  Rng rng(61);
+  for (const auto& [d, k] : std::vector<std::pair<std::uint32_t, std::size_t>>{
+           {2, 3}, {2, 5}, {2, 7}, {3, 3}, {4, 2}}) {
+    const std::uint64_t n = Word::vertex_count(d, k);
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) {
+      v = rng.below(1000);
+    }
+    std::vector<std::uint64_t> expected = values;
+    std::sort(expected.begin(), expected.end());
+    const SortEmulationResult result =
+        odd_even_transposition_sort(d, k, values);
+    EXPECT_EQ(result.sorted, expected) << "d=" << d << " k=" << k;
+    EXPECT_LE(result.rounds, n + 2);
+    EXPECT_EQ(result.site_of_position.size(), n);
+  }
+}
+
+TEST(SortEmulation, SortedInputNeedsNoExchanges) {
+  std::vector<std::uint64_t> values(32);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = i;
+  }
+  const SortEmulationResult result = odd_even_transposition_sort(2, 5, values);
+  EXPECT_EQ(result.exchanges, 0u);
+}
+
+TEST(SortEmulation, ReverseInputIsTheWorstCase) {
+  std::vector<std::uint64_t> values(32);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 31 - i;
+  }
+  const SortEmulationResult result = odd_even_transposition_sort(2, 5, values);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(result.sorted[i], i);
+  }
+  // Worst case uses close to N rounds and N^2/2-ish exchanges.
+  EXPECT_GE(result.rounds, 30u);
+  EXPECT_EQ(result.exchanges, 31u * 32 / 2);
+}
+
+TEST(SortEmulation, DuplicatesAreHandled) {
+  std::vector<std::uint64_t> values = {5, 1, 5, 1, 5, 1, 5, 1};
+  const SortEmulationResult result = odd_even_transposition_sort(2, 3, values);
+  EXPECT_EQ(result.sorted,
+            (std::vector<std::uint64_t>{1, 1, 1, 1, 5, 5, 5, 5}));
+}
+
+TEST(SortEmulation, RejectsWrongInputSize) {
+  EXPECT_THROW(odd_even_transposition_sort(2, 3, std::vector<std::uint64_t>(7)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn::net

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "debruijn/word.hpp"
+#include "testing_util.hpp"
+
+namespace dbn {
+namespace {
+
+TEST(Word, ConstructionValidatesDigits) {
+  EXPECT_NO_THROW(Word(2, {0, 1, 1}));
+  EXPECT_THROW(Word(2, {0, 2, 1}), ContractViolation);
+  EXPECT_THROW(Word(2, {}), ContractViolation);
+  EXPECT_THROW(Word(1, {0}), ContractViolation);
+}
+
+TEST(Word, RankRoundTrips) {
+  for (std::uint32_t d : {2u, 3u, 5u}) {
+    const std::size_t k = 4;
+    const std::uint64_t n = Word::vertex_count(d, k);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      const Word w = Word::from_rank(d, k, r);
+      EXPECT_EQ(w.rank(), r);
+      EXPECT_EQ(w.length(), k);
+      EXPECT_EQ(w.radix(), d);
+    }
+  }
+}
+
+TEST(Word, RankIsMostSignificantFirst) {
+  const Word w(10, {1, 2, 3});
+  EXPECT_EQ(w.rank(), 123u);
+  EXPECT_EQ(Word::from_rank(10, 3, 123), w);
+  EXPECT_EQ(Word::from_rank(10, 3, 7).to_string(), "(0,0,7)");
+}
+
+TEST(Word, VertexCountChecksOverflow) {
+  EXPECT_EQ(Word::vertex_count(2, 10), 1024u);
+  EXPECT_EQ(Word::vertex_count(2, 63), 1ull << 63);
+  EXPECT_THROW(Word::vertex_count(2, 64), ContractViolation);
+  EXPECT_THROW(Word::vertex_count(10, 20), ContractViolation);
+}
+
+TEST(Word, FromRankRejectsOutOfRange) {
+  EXPECT_THROW(Word::from_rank(2, 3, 8), ContractViolation);
+  EXPECT_NO_THROW(Word::from_rank(2, 3, 7));
+}
+
+TEST(Word, LeftShiftMatchesPaperDefinition) {
+  // X = (x1,x2,x3); X^-(a) = (x2,x3,a).
+  const Word x(3, {0, 1, 2});
+  EXPECT_EQ(x.left_shift(1), Word(3, {1, 2, 1}));
+  EXPECT_EQ(x.left_shift(0), Word(3, {1, 2, 0}));
+}
+
+TEST(Word, RightShiftMatchesPaperDefinition) {
+  // X^+(a) = (a,x1,x2).
+  const Word x(3, {0, 1, 2});
+  EXPECT_EQ(x.right_shift(2), Word(3, {2, 0, 1}));
+}
+
+TEST(Word, ShiftsAreMutuallyInverseOnMatchingDigits) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint32_t d = 2 + trial % 4;
+    const Word w = testing::random_word(rng, d, 1 + rng.below(10));
+    // Undo a left shift by re-prepending the dropped head digit.
+    const Digit head = w.digit(0);
+    const Digit tail = w.digit(w.length() - 1);
+    EXPECT_EQ(w.left_shift(0).right_shift(head), w);
+    EXPECT_EQ(w.right_shift(0).left_shift(tail), w);
+  }
+}
+
+TEST(Word, RankShiftArithmetic) {
+  // left shift on ranks: (r*d + a) mod d^k; right shift: r/d + a*d^(k-1).
+  Rng rng(88);
+  const std::uint32_t d = 3;
+  const std::size_t k = 5;
+  const std::uint64_t n = Word::vertex_count(d, k);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Word w = testing::random_word(rng, d, k);
+    const Digit a = static_cast<Digit>(rng.below(d));
+    EXPECT_EQ(w.left_shift(a).rank(), (w.rank() * d + a) % n);
+    EXPECT_EQ(w.right_shift(a).rank(), w.rank() / d + a * (n / d));
+  }
+}
+
+TEST(Word, ReversedIsInvolution) {
+  const Word x(2, {0, 1, 1, 0, 1});
+  EXPECT_EQ(x.reversed(), Word(2, {1, 0, 1, 1, 0}));
+  EXPECT_EQ(x.reversed().reversed(), x);
+}
+
+TEST(Word, ToStringMatchesPaperTuples) {
+  EXPECT_EQ(Word(2, {0, 1, 1}).to_string(), "(0,1,1)");
+  EXPECT_EQ(Word(2, {1}).to_string(), "(1)");
+}
+
+TEST(Word, OrderingIsLexicographicViaRank) {
+  const Word a(2, {0, 1, 0});
+  const Word b(2, {0, 1, 1});
+  EXPECT_LT(a, b);
+  EXPECT_LT(a.rank(), b.rank());
+}
+
+TEST(Word, HashDistinguishesWords) {
+  std::unordered_set<Word> set;
+  for (std::uint64_t r = 0; r < 64; ++r) {
+    set.insert(Word::from_rank(2, 6, r));
+  }
+  EXPECT_EQ(set.size(), 64u);
+}
+
+TEST(Word, ShiftRejectsBadDigit) {
+  const Word x(2, {0, 1});
+  EXPECT_THROW(x.left_shift(2), ContractViolation);
+  EXPECT_THROW(x.right_shift(5), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dbn

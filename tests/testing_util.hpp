@@ -1,0 +1,58 @@
+// Shared helpers for the test suite: random word/string generation and the
+// (d,k) parameter grids used by the BFS-validated property sweeps.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "debruijn/word.hpp"
+#include "strings/symbol.hpp"
+
+namespace dbn::testing {
+
+/// A (d,k) de Bruijn parameter point, printable for gtest.
+struct DkParam {
+  std::uint32_t d;
+  std::size_t k;
+
+  friend std::ostream& operator<<(std::ostream& os, const DkParam& p) {
+    return os << "d" << p.d << "_k" << p.k;
+  }
+};
+
+/// Every (d,k) with d^k small enough for all-pairs BFS in unit-test time.
+inline std::vector<DkParam> small_grid() {
+  return {
+      {2, 1}, {2, 2}, {2, 3}, {2, 4}, {2, 5}, {2, 6}, {2, 7}, {2, 8},
+      {3, 1}, {3, 2}, {3, 3}, {3, 4}, {3, 5},
+      {4, 1}, {4, 2}, {4, 3}, {4, 4},
+      {5, 1}, {5, 2}, {5, 3},
+      {7, 1}, {7, 2}, {7, 3},
+  };
+}
+
+/// Larger k, used where only per-pair (not all-pairs) work is done.
+inline std::vector<DkParam> large_grid() {
+  return {{2, 16}, {2, 33}, {2, 64}, {3, 21}, {5, 13}, {10, 9}};
+}
+
+inline std::vector<strings::Symbol> random_symbols(Rng& rng, std::size_t len,
+                                                   std::uint32_t alphabet) {
+  std::vector<strings::Symbol> s(len);
+  for (auto& c : s) {
+    c = static_cast<strings::Symbol>(rng.below(alphabet));
+  }
+  return s;
+}
+
+inline Word random_word(Rng& rng, std::uint32_t radix, std::size_t k) {
+  std::vector<Digit> digits(k);
+  for (auto& x : digits) {
+    x = static_cast<Digit>(rng.below(radix));
+  }
+  return Word(radix, std::move(digits));
+}
+
+}  // namespace dbn::testing

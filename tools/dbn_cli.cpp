@@ -1,0 +1,350 @@
+// dbn — command-line front end to the debruijn-routing library.
+//
+//   dbn route <d> <k> <X> <Y> [--algorithm=uni|mp|st|sam|bfs] [--wildcards]
+//   dbn distance <d> <k> <X> <Y>
+//   dbn graph <d> <k> [--directed]
+//   dbn export-dot <d> <k> [--directed] [--ranks]
+//   dbn stats <d> <k>
+//   dbn broadcast <d> <k> <root> [--single-port]
+//   dbn simulate <d> <k> [--rate=R] [--duration=T] [--policy=zero|random|lq]
+//
+// Words are digit strings, e.g. "0110" for (0,1,1,0); digits above 9 are
+// not supported on the command line (the library itself has no such
+// limit). Exit status 0 on success, 1 on usage errors.
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/average_distance.hpp"
+#include "core/bfs_router.hpp"
+#include "core/distance.hpp"
+#include "core/routers.hpp"
+#include "debruijn/bfs.hpp"
+#include "debruijn/dot.hpp"
+#include "debruijn/kautz_routing.hpp"
+#include "debruijn/sequence.hpp"
+#include "net/broadcast.hpp"
+#include "net/load_stats.hpp"
+#include "net/simulator.hpp"
+#include "net/traffic.hpp"
+
+namespace {
+
+using namespace dbn;
+
+void usage(std::ostream& out) {
+  out << "usage:\n"
+         "  dbn route <d> <k> <X> <Y> [--algorithm=uni|mp|st|sam|bfs] "
+         "[--wildcards]\n"
+         "  dbn distance <d> <k> <X> <Y>\n"
+         "  dbn graph <d> <k> [--directed]\n"
+         "  dbn export-dot <d> <k> [--directed] [--ranks]\n"
+         "  dbn stats <d> <k>\n"
+         "  dbn broadcast <d> <k> <root> [--single-port]\n"
+         "  dbn sequence <d> <n> [--method=fkm|euler|greedy]\n"
+         "  dbn kautz <d> <k> [<X> <Y>]\n"
+         "  dbn simulate <d> <k> [--rate=R] [--duration=T] "
+         "[--policy=zero|random|lq]\n"
+         "words are digit strings, e.g. 0110\n";
+}
+
+std::optional<std::string_view> flag_value(
+    const std::vector<std::string_view>& args, std::string_view name) {
+  const std::string prefix = std::string(name) + "=";
+  for (const std::string_view a : args) {
+    if (a.starts_with(prefix)) {
+      return a.substr(prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+bool has_flag(const std::vector<std::string_view>& args,
+              std::string_view name) {
+  for (const std::string_view a : args) {
+    if (a == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Word parse_word(std::uint32_t d, std::size_t k, std::string_view text) {
+  DBN_REQUIRE(text.size() == k, "word has wrong length for this network");
+  std::vector<Digit> digits;
+  digits.reserve(text.size());
+  for (const char c : text) {
+    DBN_REQUIRE(c >= '0' && c <= '9', "word digits must be 0-9");
+    digits.push_back(static_cast<Digit>(c - '0'));
+  }
+  return Word(d, std::move(digits));
+}
+
+int cmd_route(std::uint32_t d, std::size_t k,
+              const std::vector<std::string_view>& args) {
+  DBN_REQUIRE(args.size() >= 2, "route needs <X> and <Y>");
+  const Word x = parse_word(d, k, args[0]);
+  const Word y = parse_word(d, k, args[1]);
+  const std::string algorithm =
+      std::string(flag_value(args, "--algorithm").value_or("st"));
+  const WildcardMode mode = has_flag(args, "--wildcards")
+                                ? WildcardMode::Wildcards
+                                : WildcardMode::Concrete;
+  RoutingPath path;
+  if (algorithm == "uni") {
+    path = route_unidirectional(x, y);
+  } else if (algorithm == "mp") {
+    path = route_bidirectional_mp(x, y, mode);
+  } else if (algorithm == "st") {
+    path = route_bidirectional_suffix_tree(x, y, mode);
+  } else if (algorithm == "sam") {
+    path = route_bidirectional_suffix_automaton(x, y, mode);
+  } else if (algorithm == "bfs") {
+    const DeBruijnGraph g(d, k, Orientation::Undirected);
+    path = route_bfs(g, x, y);
+  } else {
+    std::cerr << "unknown algorithm: " << algorithm << "\n";
+    return 1;
+  }
+  std::cout << "route " << x.to_string() << " -> " << y.to_string() << " ["
+            << algorithm << "]\n"
+            << "path   " << path.to_string() << "\n"
+            << "length " << path.length() << "\n";
+  // Show the walk.
+  Word at = x;
+  std::cout << "walk   " << at.to_string();
+  for (const Hop& h : path.hops()) {
+    const Digit digit = h.is_wildcard() ? 0 : h.digit;
+    at = h.type == ShiftType::Left ? at.left_shift(digit)
+                                   : at.right_shift(digit);
+    std::cout << " -> " << at.to_string();
+  }
+  std::cout << (path.has_wildcards() ? "   (wildcards resolved to 0)\n"
+                                     : "\n");
+  return 0;
+}
+
+int cmd_distance(std::uint32_t d, std::size_t k,
+                 const std::vector<std::string_view>& args) {
+  DBN_REQUIRE(args.size() >= 2, "distance needs <X> and <Y>");
+  const Word x = parse_word(d, k, args[0]);
+  const Word y = parse_word(d, k, args[1]);
+  std::cout << "directed   D(X,Y) = " << directed_distance(x, y) << "\n"
+            << "directed   D(Y,X) = " << directed_distance(y, x) << "\n"
+            << "undirected D(X,Y) = " << undirected_distance(x, y) << "\n";
+  return 0;
+}
+
+int cmd_graph(std::uint32_t d, std::size_t k,
+              const std::vector<std::string_view>& args) {
+  const Orientation o = has_flag(args, "--directed")
+                            ? Orientation::Directed
+                            : Orientation::Undirected;
+  const DeBruijnGraph g(d, k, o);
+  DBN_REQUIRE(g.vertex_count() <= 4096, "graph too large to print");
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    std::cout << g.word(v).to_string() << " ->";
+    for (const std::uint64_t w : g.neighbors(v)) {
+      std::cout << " " << g.word(w).to_string();
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int cmd_export_dot(std::uint32_t d, std::size_t k,
+                   const std::vector<std::string_view>& args) {
+  const Orientation o = has_flag(args, "--directed")
+                            ? Orientation::Directed
+                            : Orientation::Undirected;
+  const DeBruijnGraph g(d, k, o);
+  std::cout << to_dot(g, /*word_labels=*/!has_flag(args, "--ranks"));
+  return 0;
+}
+
+int cmd_broadcast(std::uint32_t d, std::size_t k,
+                  const std::vector<std::string_view>& args) {
+  DBN_REQUIRE(!args.empty(), "broadcast needs a <root> word");
+  const Word root = parse_word(d, k, args[0]);
+  const DeBruijnGraph g(d, k, Orientation::Undirected);
+  const net::BroadcastTree tree = net::build_broadcast_tree(g, root.rank());
+  const net::PortModel model = has_flag(args, "--single-port")
+                                   ? net::PortModel::SinglePort
+                                   : net::PortModel::AllPort;
+  const net::BroadcastSchedule sched = net::schedule_broadcast(tree, model);
+  std::cout << "broadcast from " << root.to_string() << " over DN(" << d
+            << "," << k << "): completes in " << sched.completion
+            << " rounds (" << sched.messages << " messages, tree height "
+            << tree.height << ")\n";
+  std::vector<std::uint64_t> per_round(
+      static_cast<std::size_t>(sched.completion) + 1, 0);
+  for (std::uint64_t v = 0; v < g.vertex_count(); ++v) {
+    ++per_round[static_cast<std::size_t>(sched.receive_round[v])];
+  }
+  for (std::size_t r = 0; r < per_round.size(); ++r) {
+    std::cout << "  round " << r << ": " << per_round[r] << " site(s)\n";
+  }
+  return 0;
+}
+
+int cmd_sequence(std::uint32_t d, std::size_t n,
+                 const std::vector<std::string_view>& args) {
+  const std::string method =
+      std::string(flag_value(args, "--method").value_or("fkm"));
+  std::vector<Digit> seq;
+  if (method == "fkm") {
+    seq = de_bruijn_sequence(d, n);
+  } else if (method == "euler") {
+    seq = de_bruijn_sequence_hierholzer(d, n);
+  } else if (method == "greedy") {
+    seq = de_bruijn_sequence_greedy(d, n);
+  } else {
+    std::cerr << "unknown method: " << method << " (fkm|euler|greedy)\n";
+    return 1;
+  }
+  std::cout << "B(" << d << "," << n << ") via " << method << " (length "
+            << seq.size() << "):\n";
+  for (const Digit x : seq) {
+    std::cout << x;
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_kautz(std::uint32_t d, std::size_t k,
+              const std::vector<std::string_view>& args) {
+  const KautzGraph g(d, k);
+  if (args.size() >= 2) {
+    const Word x = parse_word(d + 1, k, args[0]);
+    const Word y = parse_word(d + 1, k, args[1]);
+    const RoutingPath path = kautz_route(g, x, y);
+    std::cout << "K(" << d << "," << k << ") route " << x.to_string()
+              << " -> " << y.to_string() << ": " << path.to_string()
+              << " (distance " << path.length() << ")\n";
+    return 0;
+  }
+  std::cout << "Kautz K(" << d << "," << k << "): " << g.vertex_count()
+            << " vertices (vs " << Word::vertex_count(d, k)
+            << " for DG(" << d << "," << k << ")), out-degree " << d
+            << ", diameter " << k << "\n";
+  return 0;
+}
+
+int cmd_stats(std::uint32_t d, std::size_t k) {
+  const std::uint64_t n = Word::vertex_count(d, k);
+  Table table({"quantity", "value"});
+  table.add_row({"vertices", std::to_string(n)});
+  table.add_row({"diameter", std::to_string(k)});
+  table.add_row({"directed avg distance (exact)",
+                 Table::num(directed_average_distance_exact(d, k), 4)});
+  table.add_row({"directed avg distance (paper eq. 5)",
+                 Table::num(directed_average_distance_closed_form(d, k), 4)});
+  if (n <= 4096) {
+    table.add_row({"undirected avg distance (exact)",
+                   Table::num(undirected_average_exact_bfs(d, k), 4)});
+  } else {
+    Rng rng(1);
+    table.add_row({"undirected avg distance (sampled)",
+                   Table::num(undirected_average_sampled(d, k, 50000, rng), 4)});
+  }
+  table.print(std::cout, "");
+  return 0;
+}
+
+int cmd_simulate(std::uint32_t d, std::size_t k,
+                 const std::vector<std::string_view>& args) {
+  const double rate =
+      std::atof(std::string(flag_value(args, "--rate").value_or("0.1")).c_str());
+  const double duration = std::atof(
+      std::string(flag_value(args, "--duration").value_or("100")).c_str());
+  const std::string policy =
+      std::string(flag_value(args, "--policy").value_or("random"));
+  net::SimConfig config;
+  config.radix = d;
+  config.k = k;
+  config.wildcard_policy = policy == "zero" ? net::WildcardPolicy::Zero
+                           : policy == "lq" ? net::WildcardPolicy::LeastQueue
+                                            : net::WildcardPolicy::Random;
+  net::Simulator sim(config);
+  Rng rng(42);
+  for (const net::Injection& inj :
+       net::uniform_traffic(d, k, rate, duration, rng)) {
+    const Word src = Word::from_rank(d, k, inj.source);
+    const Word dst = Word::from_rank(d, k, inj.destination);
+    sim.inject(inj.time,
+               net::Message(net::ControlCode::Data, src, dst,
+                            route_bidirectional_suffix_tree(
+                                src, dst, WildcardMode::Wildcards)));
+  }
+  sim.run();
+  const net::SimStats& s = sim.stats();
+  Table table({"metric", "value"});
+  table.add_row({"injected", std::to_string(s.injected)});
+  table.add_row({"delivered", std::to_string(s.delivered)});
+  table.add_row({"mean hops", Table::num(s.mean_hops(), 3)});
+  table.add_row({"mean latency", Table::num(s.mean_latency(), 3)});
+  table.add_row({"p99 latency", Table::num(s.latency_percentile(99), 3)});
+  table.add_row({"max queue", std::to_string(s.max_queue)});
+  table.add_row({"link load Gini",
+                 Table::num(net::gini_coefficient(sim.link_transmissions()), 3)});
+  table.print(std::cout, "DN(" + std::to_string(d) + "," + std::to_string(k) +
+                             ") simulation, policy " + policy);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  if (args.size() < 3) {
+    usage(args.empty() ? std::cout : std::cerr);
+    return args.empty() ? 0 : 1;
+  }
+  try {
+    const std::string_view command = args[0];
+    const auto d = static_cast<std::uint32_t>(
+        std::atoi(std::string(args[1]).c_str()));
+    const auto k =
+        static_cast<std::size_t>(std::atoi(std::string(args[2]).c_str()));
+    const std::vector<std::string_view> rest(args.begin() + 3, args.end());
+    if (command == "route") {
+      return cmd_route(d, k, rest);
+    }
+    if (command == "distance") {
+      return cmd_distance(d, k, rest);
+    }
+    if (command == "graph") {
+      return cmd_graph(d, k, rest);
+    }
+    if (command == "export-dot") {
+      return cmd_export_dot(d, k, rest);
+    }
+    if (command == "broadcast") {
+      return cmd_broadcast(d, k, rest);
+    }
+    if (command == "sequence") {
+      return cmd_sequence(d, k, rest);
+    }
+    if (command == "kautz") {
+      return cmd_kautz(d, k, rest);
+    }
+    if (command == "stats") {
+      return cmd_stats(d, k);
+    }
+    if (command == "simulate") {
+      return cmd_simulate(d, k, rest);
+    }
+    std::cerr << "unknown command: " << command << "\n";
+    usage(std::cerr);
+    return 1;
+  } catch (const dbn::ContractViolation& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
