@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diameter_optimality.dir/bench_diameter_optimality.cpp.o"
+  "CMakeFiles/bench_diameter_optimality.dir/bench_diameter_optimality.cpp.o.d"
+  "bench_diameter_optimality"
+  "bench_diameter_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diameter_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

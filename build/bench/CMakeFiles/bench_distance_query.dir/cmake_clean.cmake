@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distance_query.dir/bench_distance_query.cpp.o"
+  "CMakeFiles/bench_distance_query.dir/bench_distance_query.cpp.o.d"
+  "bench_distance_query"
+  "bench_distance_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distance_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq5_directed_avg.dir/bench_eq5_directed_avg.cpp.o"
+  "CMakeFiles/bench_eq5_directed_avg.dir/bench_eq5_directed_avg.cpp.o.d"
+  "bench_eq5_directed_avg"
+  "bench_eq5_directed_avg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq5_directed_avg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hop_by_hop.dir/bench_hop_by_hop.cpp.o"
+  "CMakeFiles/bench_hop_by_hop.dir/bench_hop_by_hop.cpp.o.d"
+  "bench_hop_by_hop"
+  "bench_hop_by_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hop_by_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matching_kernels.dir/bench_matching_kernels.cpp.o"
+  "CMakeFiles/bench_matching_kernels.dir/bench_matching_kernels.cpp.o.d"
+  "bench_matching_kernels"
+  "bench_matching_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matching_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

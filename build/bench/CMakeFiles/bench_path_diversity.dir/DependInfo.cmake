@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_path_diversity.cpp" "bench/CMakeFiles/bench_path_diversity.dir/bench_path_diversity.cpp.o" "gcc" "bench/CMakeFiles/bench_path_diversity.dir/bench_path_diversity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/debruijn/CMakeFiles/dbn_debruijn.dir/DependInfo.cmake"
+  "/root/repo/build/src/strings/CMakeFiles/dbn_strings.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

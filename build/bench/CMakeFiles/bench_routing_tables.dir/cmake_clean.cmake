@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_tables.dir/bench_routing_tables.cpp.o"
+  "CMakeFiles/bench_routing_tables.dir/bench_routing_tables.cpp.o.d"
+  "bench_routing_tables"
+  "bench_routing_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

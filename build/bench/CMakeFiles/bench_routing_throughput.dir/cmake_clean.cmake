@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_routing_throughput.dir/bench_routing_throughput.cpp.o"
+  "CMakeFiles/bench_routing_throughput.dir/bench_routing_throughput.cpp.o.d"
+  "bench_routing_throughput"
+  "bench_routing_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_routing_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

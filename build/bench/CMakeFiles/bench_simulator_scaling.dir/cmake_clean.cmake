@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simulator_scaling.dir/bench_simulator_scaling.cpp.o"
+  "CMakeFiles/bench_simulator_scaling.dir/bench_simulator_scaling.cpp.o.d"
+  "bench_simulator_scaling"
+  "bench_simulator_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simulator_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_substrate_crosscheck.dir/bench_substrate_crosscheck.cpp.o"
+  "CMakeFiles/bench_substrate_crosscheck.dir/bench_substrate_crosscheck.cpp.o.d"
+  "bench_substrate_crosscheck"
+  "bench_substrate_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_substrate_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wildcard_balancing.dir/bench_wildcard_balancing.cpp.o"
+  "CMakeFiles/bench_wildcard_balancing.dir/bench_wildcard_balancing.cpp.o.d"
+  "bench_wildcard_balancing"
+  "bench_wildcard_balancing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wildcard_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/avg_distance_table.dir/avg_distance_table.cpp.o"
+  "CMakeFiles/avg_distance_table.dir/avg_distance_table.cpp.o.d"
+  "avg_distance_table"
+  "avg_distance_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/avg_distance_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

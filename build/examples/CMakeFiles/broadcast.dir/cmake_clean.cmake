@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast.dir/broadcast.cpp.o"
+  "CMakeFiles/broadcast.dir/broadcast.cpp.o.d"
+  "broadcast"
+  "broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

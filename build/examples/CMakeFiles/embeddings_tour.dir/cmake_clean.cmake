@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embeddings_tour.dir/embeddings_tour.cpp.o"
+  "CMakeFiles/embeddings_tour.dir/embeddings_tour.cpp.o.d"
+  "embeddings_tour"
+  "embeddings_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embeddings_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

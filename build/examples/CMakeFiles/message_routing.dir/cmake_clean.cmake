@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_routing.dir/message_routing.cpp.o"
+  "CMakeFiles/message_routing.dir/message_routing.cpp.o.d"
+  "message_routing"
+  "message_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/dbn_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/dbn_common.dir/rng.cpp.o"
+  "CMakeFiles/dbn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dbn_common.dir/table.cpp.o"
+  "CMakeFiles/dbn_common.dir/table.cpp.o.d"
+  "libdbn_common.a"
+  "libdbn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

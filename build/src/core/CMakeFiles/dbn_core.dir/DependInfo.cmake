@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/average_distance.cpp" "src/core/CMakeFiles/dbn_core.dir/average_distance.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/average_distance.cpp.o.d"
+  "/root/repo/src/core/bfs_router.cpp" "src/core/CMakeFiles/dbn_core.dir/bfs_router.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/bfs_router.cpp.o.d"
+  "/root/repo/src/core/common_substring.cpp" "src/core/CMakeFiles/dbn_core.dir/common_substring.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/common_substring.cpp.o.d"
+  "/root/repo/src/core/distance.cpp" "src/core/CMakeFiles/dbn_core.dir/distance.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/distance.cpp.o.d"
+  "/root/repo/src/core/hop_by_hop.cpp" "src/core/CMakeFiles/dbn_core.dir/hop_by_hop.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/hop_by_hop.cpp.o.d"
+  "/root/repo/src/core/path.cpp" "src/core/CMakeFiles/dbn_core.dir/path.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/path.cpp.o.d"
+  "/root/repo/src/core/path_builder.cpp" "src/core/CMakeFiles/dbn_core.dir/path_builder.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/path_builder.cpp.o.d"
+  "/root/repo/src/core/path_count.cpp" "src/core/CMakeFiles/dbn_core.dir/path_count.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/path_count.cpp.o.d"
+  "/root/repo/src/core/prop5_as_printed.cpp" "src/core/CMakeFiles/dbn_core.dir/prop5_as_printed.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/prop5_as_printed.cpp.o.d"
+  "/root/repo/src/core/route_engine.cpp" "src/core/CMakeFiles/dbn_core.dir/route_engine.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/route_engine.cpp.o.d"
+  "/root/repo/src/core/routers.cpp" "src/core/CMakeFiles/dbn_core.dir/routers.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/routers.cpp.o.d"
+  "/root/repo/src/core/routing_table.cpp" "src/core/CMakeFiles/dbn_core.dir/routing_table.cpp.o" "gcc" "src/core/CMakeFiles/dbn_core.dir/routing_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/strings/CMakeFiles/dbn_strings.dir/DependInfo.cmake"
+  "/root/repo/build/src/debruijn/CMakeFiles/dbn_debruijn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn_core.dir/average_distance.cpp.o"
+  "CMakeFiles/dbn_core.dir/average_distance.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/bfs_router.cpp.o"
+  "CMakeFiles/dbn_core.dir/bfs_router.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/common_substring.cpp.o"
+  "CMakeFiles/dbn_core.dir/common_substring.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/distance.cpp.o"
+  "CMakeFiles/dbn_core.dir/distance.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/hop_by_hop.cpp.o"
+  "CMakeFiles/dbn_core.dir/hop_by_hop.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/path.cpp.o"
+  "CMakeFiles/dbn_core.dir/path.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/path_builder.cpp.o"
+  "CMakeFiles/dbn_core.dir/path_builder.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/path_count.cpp.o"
+  "CMakeFiles/dbn_core.dir/path_count.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/prop5_as_printed.cpp.o"
+  "CMakeFiles/dbn_core.dir/prop5_as_printed.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/route_engine.cpp.o"
+  "CMakeFiles/dbn_core.dir/route_engine.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/routers.cpp.o"
+  "CMakeFiles/dbn_core.dir/routers.cpp.o.d"
+  "CMakeFiles/dbn_core.dir/routing_table.cpp.o"
+  "CMakeFiles/dbn_core.dir/routing_table.cpp.o.d"
+  "libdbn_core.a"
+  "libdbn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debruijn/bfs.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/bfs.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/bfs.cpp.o.d"
+  "/root/repo/src/debruijn/dot.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/dot.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/dot.cpp.o.d"
+  "/root/repo/src/debruijn/embedding.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/embedding.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/embedding.cpp.o.d"
+  "/root/repo/src/debruijn/generalized.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/generalized.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/generalized.cpp.o.d"
+  "/root/repo/src/debruijn/graph.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/graph.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/graph.cpp.o.d"
+  "/root/repo/src/debruijn/kautz.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/kautz.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/kautz.cpp.o.d"
+  "/root/repo/src/debruijn/kautz_routing.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/kautz_routing.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/kautz_routing.cpp.o.d"
+  "/root/repo/src/debruijn/sequence.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/sequence.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/sequence.cpp.o.d"
+  "/root/repo/src/debruijn/shuffle_exchange.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/shuffle_exchange.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/shuffle_exchange.cpp.o.d"
+  "/root/repo/src/debruijn/word.cpp" "src/debruijn/CMakeFiles/dbn_debruijn.dir/word.cpp.o" "gcc" "src/debruijn/CMakeFiles/dbn_debruijn.dir/word.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/strings/CMakeFiles/dbn_strings.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

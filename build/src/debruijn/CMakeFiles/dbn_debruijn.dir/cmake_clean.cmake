@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn_debruijn.dir/bfs.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/bfs.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/dot.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/dot.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/embedding.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/embedding.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/generalized.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/generalized.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/graph.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/graph.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/kautz.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/kautz.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/kautz_routing.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/kautz_routing.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/sequence.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/sequence.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/shuffle_exchange.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/shuffle_exchange.cpp.o.d"
+  "CMakeFiles/dbn_debruijn.dir/word.cpp.o"
+  "CMakeFiles/dbn_debruijn.dir/word.cpp.o.d"
+  "libdbn_debruijn.a"
+  "libdbn_debruijn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn_debruijn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbn_debruijn.a"
+)

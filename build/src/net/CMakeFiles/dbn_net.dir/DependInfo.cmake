@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/adaptive.cpp" "src/net/CMakeFiles/dbn_net.dir/adaptive.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/adaptive.cpp.o.d"
+  "/root/repo/src/net/broadcast.cpp" "src/net/CMakeFiles/dbn_net.dir/broadcast.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/broadcast.cpp.o.d"
+  "/root/repo/src/net/fault.cpp" "src/net/CMakeFiles/dbn_net.dir/fault.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/fault.cpp.o.d"
+  "/root/repo/src/net/load_stats.cpp" "src/net/CMakeFiles/dbn_net.dir/load_stats.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/load_stats.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/net/CMakeFiles/dbn_net.dir/message.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/message.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "src/net/CMakeFiles/dbn_net.dir/reliable.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/reliable.cpp.o.d"
+  "/root/repo/src/net/simulator.cpp" "src/net/CMakeFiles/dbn_net.dir/simulator.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/simulator.cpp.o.d"
+  "/root/repo/src/net/sort_emulation.cpp" "src/net/CMakeFiles/dbn_net.dir/sort_emulation.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/sort_emulation.cpp.o.d"
+  "/root/repo/src/net/synchronous.cpp" "src/net/CMakeFiles/dbn_net.dir/synchronous.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/synchronous.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/dbn_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/dbn_net.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/debruijn/CMakeFiles/dbn_debruijn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/strings/CMakeFiles/dbn_strings.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

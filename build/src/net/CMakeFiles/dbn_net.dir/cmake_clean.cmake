@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn_net.dir/adaptive.cpp.o"
+  "CMakeFiles/dbn_net.dir/adaptive.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/broadcast.cpp.o"
+  "CMakeFiles/dbn_net.dir/broadcast.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/fault.cpp.o"
+  "CMakeFiles/dbn_net.dir/fault.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/load_stats.cpp.o"
+  "CMakeFiles/dbn_net.dir/load_stats.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/message.cpp.o"
+  "CMakeFiles/dbn_net.dir/message.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/reliable.cpp.o"
+  "CMakeFiles/dbn_net.dir/reliable.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/simulator.cpp.o"
+  "CMakeFiles/dbn_net.dir/simulator.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/sort_emulation.cpp.o"
+  "CMakeFiles/dbn_net.dir/sort_emulation.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/synchronous.cpp.o"
+  "CMakeFiles/dbn_net.dir/synchronous.cpp.o.d"
+  "CMakeFiles/dbn_net.dir/traffic.cpp.o"
+  "CMakeFiles/dbn_net.dir/traffic.cpp.o.d"
+  "libdbn_net.a"
+  "libdbn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

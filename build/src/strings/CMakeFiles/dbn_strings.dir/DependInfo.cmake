@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strings/failure.cpp" "src/strings/CMakeFiles/dbn_strings.dir/failure.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/failure.cpp.o.d"
+  "/root/repo/src/strings/lyndon.cpp" "src/strings/CMakeFiles/dbn_strings.dir/lyndon.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/lyndon.cpp.o.d"
+  "/root/repo/src/strings/matching.cpp" "src/strings/CMakeFiles/dbn_strings.dir/matching.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/matching.cpp.o.d"
+  "/root/repo/src/strings/naive.cpp" "src/strings/CMakeFiles/dbn_strings.dir/naive.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/naive.cpp.o.d"
+  "/root/repo/src/strings/suffix_array.cpp" "src/strings/CMakeFiles/dbn_strings.dir/suffix_array.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/suffix_array.cpp.o.d"
+  "/root/repo/src/strings/suffix_automaton.cpp" "src/strings/CMakeFiles/dbn_strings.dir/suffix_automaton.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/suffix_automaton.cpp.o.d"
+  "/root/repo/src/strings/suffix_tree.cpp" "src/strings/CMakeFiles/dbn_strings.dir/suffix_tree.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/suffix_tree.cpp.o.d"
+  "/root/repo/src/strings/zfunction.cpp" "src/strings/CMakeFiles/dbn_strings.dir/zfunction.cpp.o" "gcc" "src/strings/CMakeFiles/dbn_strings.dir/zfunction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn_strings.dir/failure.cpp.o"
+  "CMakeFiles/dbn_strings.dir/failure.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/lyndon.cpp.o"
+  "CMakeFiles/dbn_strings.dir/lyndon.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/matching.cpp.o"
+  "CMakeFiles/dbn_strings.dir/matching.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/naive.cpp.o"
+  "CMakeFiles/dbn_strings.dir/naive.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/suffix_array.cpp.o"
+  "CMakeFiles/dbn_strings.dir/suffix_array.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/suffix_automaton.cpp.o"
+  "CMakeFiles/dbn_strings.dir/suffix_automaton.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/suffix_tree.cpp.o"
+  "CMakeFiles/dbn_strings.dir/suffix_tree.cpp.o.d"
+  "CMakeFiles/dbn_strings.dir/zfunction.cpp.o"
+  "CMakeFiles/dbn_strings.dir/zfunction.cpp.o.d"
+  "libdbn_strings.a"
+  "libdbn_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbn_strings.
+# This may be replaced when dependencies are built.

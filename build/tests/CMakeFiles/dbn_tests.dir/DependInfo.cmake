@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/dbn_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_ascii_plot.cpp" "tests/CMakeFiles/dbn_tests.dir/test_ascii_plot.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_ascii_plot.cpp.o.d"
+  "/root/repo/tests/test_average_distance.cpp" "tests/CMakeFiles/dbn_tests.dir/test_average_distance.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_average_distance.cpp.o.d"
+  "/root/repo/tests/test_bfs.cpp" "tests/CMakeFiles/dbn_tests.dir/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/test_broadcast.cpp" "tests/CMakeFiles/dbn_tests.dir/test_broadcast.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_broadcast.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/dbn_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_common_substring.cpp" "tests/CMakeFiles/dbn_tests.dir/test_common_substring.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_common_substring.cpp.o.d"
+  "/root/repo/tests/test_distance.cpp" "tests/CMakeFiles/dbn_tests.dir/test_distance.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_distance.cpp.o.d"
+  "/root/repo/tests/test_dot.cpp" "tests/CMakeFiles/dbn_tests.dir/test_dot.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_dot.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/dbn_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_embedding.cpp" "tests/CMakeFiles/dbn_tests.dir/test_embedding.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_embedding.cpp.o.d"
+  "/root/repo/tests/test_failure.cpp" "tests/CMakeFiles/dbn_tests.dir/test_failure.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_failure.cpp.o.d"
+  "/root/repo/tests/test_fault.cpp" "tests/CMakeFiles/dbn_tests.dir/test_fault.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_fault.cpp.o.d"
+  "/root/repo/tests/test_generalized.cpp" "tests/CMakeFiles/dbn_tests.dir/test_generalized.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_generalized.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/dbn_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_hop_by_hop.cpp" "tests/CMakeFiles/dbn_tests.dir/test_hop_by_hop.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_hop_by_hop.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/dbn_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/dbn_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_kautz.cpp" "tests/CMakeFiles/dbn_tests.dir/test_kautz.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_kautz.cpp.o.d"
+  "/root/repo/tests/test_kautz_routing.cpp" "tests/CMakeFiles/dbn_tests.dir/test_kautz_routing.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_kautz_routing.cpp.o.d"
+  "/root/repo/tests/test_kernel_fuzz.cpp" "tests/CMakeFiles/dbn_tests.dir/test_kernel_fuzz.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_kernel_fuzz.cpp.o.d"
+  "/root/repo/tests/test_load_stats.cpp" "tests/CMakeFiles/dbn_tests.dir/test_load_stats.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_load_stats.cpp.o.d"
+  "/root/repo/tests/test_lyndon.cpp" "tests/CMakeFiles/dbn_tests.dir/test_lyndon.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_lyndon.cpp.o.d"
+  "/root/repo/tests/test_matching.cpp" "tests/CMakeFiles/dbn_tests.dir/test_matching.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_matching.cpp.o.d"
+  "/root/repo/tests/test_message.cpp" "tests/CMakeFiles/dbn_tests.dir/test_message.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_message.cpp.o.d"
+  "/root/repo/tests/test_path.cpp" "tests/CMakeFiles/dbn_tests.dir/test_path.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_path.cpp.o.d"
+  "/root/repo/tests/test_path_count.cpp" "tests/CMakeFiles/dbn_tests.dir/test_path_count.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_path_count.cpp.o.d"
+  "/root/repo/tests/test_prop5_as_printed.cpp" "tests/CMakeFiles/dbn_tests.dir/test_prop5_as_printed.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_prop5_as_printed.cpp.o.d"
+  "/root/repo/tests/test_reliable.cpp" "tests/CMakeFiles/dbn_tests.dir/test_reliable.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_reliable.cpp.o.d"
+  "/root/repo/tests/test_route_engine.cpp" "tests/CMakeFiles/dbn_tests.dir/test_route_engine.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_route_engine.cpp.o.d"
+  "/root/repo/tests/test_routers.cpp" "tests/CMakeFiles/dbn_tests.dir/test_routers.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_routers.cpp.o.d"
+  "/root/repo/tests/test_routing_table.cpp" "tests/CMakeFiles/dbn_tests.dir/test_routing_table.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_routing_table.cpp.o.d"
+  "/root/repo/tests/test_sequence.cpp" "tests/CMakeFiles/dbn_tests.dir/test_sequence.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_sequence.cpp.o.d"
+  "/root/repo/tests/test_shuffle_exchange.cpp" "tests/CMakeFiles/dbn_tests.dir/test_shuffle_exchange.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_shuffle_exchange.cpp.o.d"
+  "/root/repo/tests/test_simulator.cpp" "tests/CMakeFiles/dbn_tests.dir/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_simulator.cpp.o.d"
+  "/root/repo/tests/test_simulator_properties.cpp" "tests/CMakeFiles/dbn_tests.dir/test_simulator_properties.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_simulator_properties.cpp.o.d"
+  "/root/repo/tests/test_sort_emulation.cpp" "tests/CMakeFiles/dbn_tests.dir/test_sort_emulation.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_sort_emulation.cpp.o.d"
+  "/root/repo/tests/test_suffix_array.cpp" "tests/CMakeFiles/dbn_tests.dir/test_suffix_array.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_suffix_array.cpp.o.d"
+  "/root/repo/tests/test_suffix_automaton.cpp" "tests/CMakeFiles/dbn_tests.dir/test_suffix_automaton.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_suffix_automaton.cpp.o.d"
+  "/root/repo/tests/test_suffix_tree.cpp" "tests/CMakeFiles/dbn_tests.dir/test_suffix_tree.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_suffix_tree.cpp.o.d"
+  "/root/repo/tests/test_synchronous.cpp" "tests/CMakeFiles/dbn_tests.dir/test_synchronous.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_synchronous.cpp.o.d"
+  "/root/repo/tests/test_traces.cpp" "tests/CMakeFiles/dbn_tests.dir/test_traces.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_traces.cpp.o.d"
+  "/root/repo/tests/test_traffic.cpp" "tests/CMakeFiles/dbn_tests.dir/test_traffic.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_traffic.cpp.o.d"
+  "/root/repo/tests/test_word.cpp" "tests/CMakeFiles/dbn_tests.dir/test_word.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_word.cpp.o.d"
+  "/root/repo/tests/test_zfunction.cpp" "tests/CMakeFiles/dbn_tests.dir/test_zfunction.cpp.o" "gcc" "tests/CMakeFiles/dbn_tests.dir/test_zfunction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dbn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/debruijn/CMakeFiles/dbn_debruijn.dir/DependInfo.cmake"
+  "/root/repo/build/src/strings/CMakeFiles/dbn_strings.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dbn_tests[1]_include.cmake")
+add_test(cli_route "/root/repo/build/tools/dbn" "route" "2" "4" "0110" "1001" "--algorithm=st")
+set_tests_properties(cli_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;57;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_route_wildcards "/root/repo/build/tools/dbn" "route" "2" "5" "00000" "10001" "--wildcards")
+set_tests_properties(cli_route_wildcards PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;58;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_distance "/root/repo/build/tools/dbn" "distance" "3" "3" "012" "201")
+set_tests_properties(cli_distance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_graph "/root/repo/build/tools/dbn" "graph" "2" "3" "--directed")
+set_tests_properties(cli_graph PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;60;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_export_dot "/root/repo/build/tools/dbn" "export-dot" "2" "3")
+set_tests_properties(cli_export_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;61;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/dbn" "stats" "2" "6")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;62;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_broadcast "/root/repo/build/tools/dbn" "broadcast" "2" "5" "10110" "--single-port")
+set_tests_properties(cli_broadcast PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;63;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/dbn" "simulate" "2" "6" "--rate=0.05" "--duration=50" "--policy=lq")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;64;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/dbn" "bogus" "2" "3")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;65;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_bad_word "/root/repo/build/tools/dbn" "route" "2" "4" "012" "0110")
+set_tests_properties(cli_bad_word PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_sequence "/root/repo/build/tools/dbn" "sequence" "2" "4" "--method=greedy")
+set_tests_properties(cli_sequence PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;69;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_kautz_info "/root/repo/build/tools/dbn" "kautz" "2" "3")
+set_tests_properties(cli_kautz_info PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;70;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_kautz_route "/root/repo/build/tools/dbn" "kautz" "2" "3" "010" "201")
+set_tests_properties(cli_kautz_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")

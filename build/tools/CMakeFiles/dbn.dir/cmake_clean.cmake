@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbn.dir/dbn_cli.cpp.o"
+  "CMakeFiles/dbn.dir/dbn_cli.cpp.o.d"
+  "dbn"
+  "dbn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
