@@ -10,7 +10,7 @@ namespace dbn {
 
 KautzGraph::KautzGraph(std::uint32_t degree, std::size_t k)
     : degree_(degree), k_(k) {
-  DBN_REQUIRE(degree_ >= 2 && k_ >= 1, "KautzGraph requires d >= 2, k >= 1");
+  DBN_REQUIRE(degree_ >= 1 && k_ >= 1, "KautzGraph requires d >= 1, k >= 1");
   // N = (d+1) * d^(k-1), overflow-checked.
   std::uint64_t n = degree_ + 1;
   for (std::size_t i = 1; i < k_; ++i) {

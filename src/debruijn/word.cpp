@@ -10,7 +10,7 @@ namespace dbn {
 
 Word::Word(std::uint32_t radix, std::vector<Digit> digits)
     : radix_(radix), digits_(std::move(digits)) {
-  DBN_REQUIRE(radix_ >= 2, "Word requires radix d >= 2");
+  DBN_REQUIRE(radix_ >= 1, "Word requires radix d >= 1");
   DBN_REQUIRE(!digits_.empty(), "Word requires length k >= 1");
   for (const Digit x : digits_) {
     DBN_REQUIRE(x < radix_, "Word digit out of range [0, d)");
@@ -23,7 +23,7 @@ Word Word::zero(std::uint32_t radix, std::size_t k) {
 }
 
 std::uint64_t Word::vertex_count(std::uint32_t radix, std::size_t k) {
-  DBN_REQUIRE(radix >= 2 && k >= 1, "vertex_count requires d >= 2, k >= 1");
+  DBN_REQUIRE(radix >= 1 && k >= 1, "vertex_count requires d >= 1, k >= 1");
   std::uint64_t n = 1;
   for (std::size_t i = 0; i < k; ++i) {
     DBN_REQUIRE(n <= std::numeric_limits<std::uint64_t>::max() / radix,

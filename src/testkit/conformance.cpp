@@ -1,0 +1,254 @@
+#include "testkit/conformance.hpp"
+
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace dbn::testkit {
+
+namespace {
+
+// True iff x[xs .. xs+len) == y[ys .. ys+len) (0-based, bounds-checked).
+bool blocks_equal(const Word& x, const Word& y, std::size_t xs, std::size_t ys,
+                  std::size_t len) {
+  if (xs + len > x.length() || ys + len > y.length()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    if (x.digit(xs + i) != y.digit(ys + i)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Checks the l-form L^a R^b L^c: s = a+1, θ = k-b, t = k-c, witnessed by
+// x_s..x_{s+θ-1} == y_{t-θ+1}..y_t (1-based; definition (8)).
+bool l_form_witnessed(const Word& x, const Word& y, std::size_t a,
+                      std::size_t b, std::size_t c) {
+  const std::size_t k = x.length();
+  if (b > k || c > k || a + 1 > k) {
+    return false;
+  }
+  const std::size_t s = a + 1;
+  const std::size_t theta = k - b;
+  const std::size_t t = k - c;
+  if (t < 1 || t > k) {
+    return false;
+  }
+  // Definition (8): θ <= min(t, k - s + 1).
+  if (theta > t || theta > k - s + 1) {
+    return false;
+  }
+  return blocks_equal(x, y, s - 1, t - theta, theta);
+}
+
+// Checks the r-form R^a L^b R^c: s = k-a, θ = k-b, t = c+1, witnessed by
+// x_{s-θ+1}..x_s == y_t..y_{t+θ-1} (definition (9)).
+bool r_form_witnessed(const Word& x, const Word& y, std::size_t a,
+                      std::size_t b, std::size_t c) {
+  const std::size_t k = x.length();
+  if (a >= k || b > k || c + 1 > k) {
+    return false;
+  }
+  const std::size_t s = k - a;
+  const std::size_t theta = k - b;
+  const std::size_t t = c + 1;
+  // Definition (9): θ <= min(s, k - t + 1).
+  if (theta > s || theta > k - t + 1) {
+    return false;
+  }
+  return blocks_equal(x, y, s - theta, t - 1, theta);
+}
+
+// The trivial path of Algorithm 2 line 6: k left shifts inserting y_1..y_k.
+bool is_trivial_path(const Word& y, const RoutingPath& path) {
+  if (path.length() != y.length()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < path.length(); ++i) {
+    const Hop& h = path.hop(i);
+    if (h.type != ShiftType::Left ||
+        (!h.is_wildcard() && h.digit != y.digit(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* failure_kind_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::DistanceDisagreement:
+      return "distance-disagreement";
+    case FailureKind::WrongEndpoint:
+      return "wrong-endpoint";
+    case FailureKind::LengthMismatch:
+      return "length-mismatch";
+    case FailureKind::IllegalHop:
+      return "illegal-hop";
+    case FailureKind::ShapeViolation:
+      return "shape-violation";
+  }
+  return "unknown";
+}
+
+std::string PairReport::to_string() const {
+  std::ostringstream out;
+  out << "pair X=" << x.to_string() << " Y=" << y.to_string()
+      << " reference D=" << reference_distance;
+  if (failures.empty()) {
+    out << " — all oracles agree";
+    return out.str();
+  }
+  for (const Failure& f : failures) {
+    out << "\n  [" << f.oracle << "] " << failure_kind_name(f.kind) << ": "
+        << f.detail;
+  }
+  return out.str();
+}
+
+ShiftRuns shift_runs(const RoutingPath& path) {
+  ShiftRuns out;
+  for (const Hop& h : path.hops()) {
+    if (out.runs.empty() || out.runs.back().first != h.type) {
+      out.runs.push_back({h.type, 1});
+    } else {
+      ++out.runs.back().second;
+    }
+  }
+  return out;
+}
+
+bool shape_matches_theorem2(const Word& x, const Word& y,
+                            const RoutingPath& path) {
+  if (path.empty()) {
+    return x == y;
+  }
+  if (is_trivial_path(y, path)) {
+    return true;
+  }
+  const ShiftRuns rle = shift_runs(path);
+  if (rle.runs.size() > 3) {
+    return false;
+  }
+  const std::size_t len = path.length();
+  // Enumerate every (a, b, c) split whose type sequence equals the path's.
+  // Runs of the middle type pin b exactly; when the path has no middle-type
+  // run (single-run paths), the two outer blocks merge and every split of
+  // the run between a and c must be tried.
+  const auto first_type = rle.runs.front().first;
+  if (rle.runs.size() == 1) {
+    // Pure run of one type: try all splits (i, 0, len - i) in both forms.
+    for (std::size_t i = 0; i <= len; ++i) {
+      if (first_type == ShiftType::Left && l_form_witnessed(x, y, i, 0, len - i)) {
+        return true;
+      }
+      if (first_type == ShiftType::Right && r_form_witnessed(x, y, i, 0, len - i)) {
+        return true;
+      }
+    }
+    // A pure run is also the degenerate middle block of the opposite form
+    // (a = c = 0), e.g. a pure-L path is R^0 L^b R^0.
+    if (first_type == ShiftType::Left && r_form_witnessed(x, y, 0, len, 0)) {
+      return true;
+    }
+    if (first_type == ShiftType::Right && l_form_witnessed(x, y, 0, len, 0)) {
+      return true;
+    }
+    return false;
+  }
+  if (rle.runs.size() == 2) {
+    const std::size_t p = rle.runs[0].second;
+    const std::size_t q = rle.runs[1].second;
+    if (first_type == ShiftType::Left) {
+      // L^p R^q: l-form (p, q, 0) or r-form (0, p, q).
+      return l_form_witnessed(x, y, p, q, 0) || r_form_witnessed(x, y, 0, p, q);
+    }
+    // R^p L^q: r-form (p, q, 0) or l-form (0, p, q).
+    return r_form_witnessed(x, y, p, q, 0) || l_form_witnessed(x, y, 0, p, q);
+  }
+  const std::size_t a = rle.runs[0].second;
+  const std::size_t b = rle.runs[1].second;
+  const std::size_t c = rle.runs[2].second;
+  return first_type == ShiftType::Left ? l_form_witnessed(x, y, a, b, c)
+                                       : r_form_witnessed(x, y, a, b, c);
+}
+
+PairReport Conformance::check(const Word& x, const Word& y) const {
+  DBN_REQUIRE(set_->is_vertex(x) && set_->is_vertex(y),
+              "conformance pair must be vertices of the network");
+  PairReport report{x, y, -1, {}};
+  const auto& oracles = set_->oracles();
+  DBN_ASSERT(!oracles.empty(), "oracle set is empty");
+
+  // Reference distance: BFS ground truth when available, else the first
+  // oracle's claim (the remaining oracles are then checked for mutual
+  // agreement with it).
+  std::string reference_name = "bfs-reference";
+  if (set_->has_bfs_reference()) {
+    report.reference_distance = set_->reference_distance(x, y);
+  } else {
+    report.reference_distance = oracles.front()->distance(x, y);
+    reference_name = std::string(oracles.front()->name());
+  }
+
+  for (const auto& oracle : oracles) {
+    const int claimed = oracle->distance(x, y);
+    if (claimed != report.reference_distance) {
+      std::ostringstream detail;
+      detail << "claims D=" << claimed << ", " << reference_name
+             << " says D=" << report.reference_distance;
+      report.failures.push_back({std::string(oracle->name()),
+                                 FailureKind::DistanceDisagreement,
+                                 detail.str()});
+    }
+
+    const std::optional<RoutingPath> path = oracle->route(x, y);
+    if (!path.has_value()) {
+      continue;
+    }
+    if (static_cast<int>(path->length()) != claimed) {
+      std::ostringstream detail;
+      detail << "path " << path->to_string() << " has length "
+             << path->length() << " but the oracle claims D=" << claimed;
+      report.failures.push_back({std::string(oracle->name()),
+                                 FailureKind::LengthMismatch, detail.str()});
+    }
+    // Walk the path, validating each hop against the network's move rule.
+    Word at = x;
+    bool walk_ok = true;
+    for (std::size_t i = 0; i < path->length(); ++i) {
+      const Hop& hop = path->hop(i);
+      if (!set_->legal_hop(at, hop)) {
+        std::ostringstream detail;
+        detail << "hop " << i << " of " << path->to_string()
+               << " is not a legal move at " << at.to_string();
+        report.failures.push_back({std::string(oracle->name()),
+                                   FailureKind::IllegalHop, detail.str()});
+        walk_ok = false;
+        break;
+      }
+      at = set_->apply_hop(at, hop);
+    }
+    if (walk_ok && !(at == y)) {
+      std::ostringstream detail;
+      detail << "path " << path->to_string() << " ends at " << at.to_string()
+             << ", not Y";
+      report.failures.push_back({std::string(oracle->name()),
+                                 FailureKind::WrongEndpoint, detail.str()});
+    }
+    if (walk_ok && oracle->emits_three_block() &&
+        !shape_matches_theorem2(x, y, *path)) {
+      std::ostringstream detail;
+      detail << "path " << path->to_string()
+             << " has no Theorem 2 three-block decomposition";
+      report.failures.push_back({std::string(oracle->name()),
+                                 FailureKind::ShapeViolation, detail.str()});
+    }
+  }
+  return report;
+}
+
+}  // namespace dbn::testkit

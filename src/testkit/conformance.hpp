@@ -1,0 +1,83 @@
+// The conformance driver: checks one (X, Y) pair against every oracle of a
+// set and reports all disagreements.
+//
+// Per pair it verifies
+//   1. distance agreement — every oracle's distance claim matches the
+//      reference (BFS when the set carries it, the first oracle otherwise);
+//   2. path validity — every hop of every claimed path is a legal move of
+//      the network (directed: type-L only; Kautz: appended digit differs
+//      from the current last digit) and the walk ends at Y;
+//   3. length coherence — each path's length equals its oracle's distance
+//      claim;
+//   4. Theorem 2 shape — paths of the bi-directional formula routers must
+//      decompose into one of the paper's three-block forms
+//      L^{s-1} R^{k-θ} L^{k-t} (witnessed by l_{s,t} >= θ) or
+//      R^{k-s} L^{k-θ} R^{t-1} (witnessed by r_{s,t} >= θ), or be the
+//      trivial all-left path of length k inserting y_1..y_k.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/path.hpp"
+#include "debruijn/word.hpp"
+#include "testkit/oracle.hpp"
+
+namespace dbn::testkit {
+
+enum class FailureKind {
+  DistanceDisagreement,  // oracle distance != reference distance
+  WrongEndpoint,         // path does not end at Y
+  LengthMismatch,        // path length != oracle's own distance claim
+  IllegalHop,            // a hop is not a legal move of the network
+  ShapeViolation,        // no Theorem 2 three-block decomposition exists
+};
+
+const char* failure_kind_name(FailureKind kind);
+
+/// One oracle's defect on one pair.
+struct Failure {
+  std::string oracle;
+  FailureKind kind;
+  std::string detail;
+};
+
+/// Everything the driver learned about one pair.
+struct PairReport {
+  Word x;
+  Word y;
+  int reference_distance = -1;
+  std::vector<Failure> failures;
+
+  bool ok() const { return failures.empty(); }
+  /// Multi-line human-readable summary (empty-ish when ok()).
+  std::string to_string() const;
+};
+
+/// Run-length view of a path's shift types: `pattern` holds one entry per
+/// maximal run. A Theorem 2 path has at most three runs.
+struct ShiftRuns {
+  std::vector<std::pair<ShiftType, std::size_t>> runs;
+};
+ShiftRuns shift_runs(const RoutingPath& path);
+
+/// True iff `path` is a valid Theorem 2 witness from x to y: the trivial
+/// all-left path of length k, or a three-block decomposition whose claimed
+/// overlap block of X actually equals the corresponding block of Y. Pure
+/// structural check — does not require the path to be shortest.
+bool shape_matches_theorem2(const Word& x, const Word& y,
+                            const RoutingPath& path);
+
+/// Cross-checks pairs against one OracleSet.
+class Conformance {
+ public:
+  explicit Conformance(const OracleSet& set) : set_(&set) {}
+
+  /// Full check of one pair; both words must be vertices of the network.
+  PairReport check(const Word& x, const Word& y) const;
+
+ private:
+  const OracleSet* set_;
+};
+
+}  // namespace dbn::testkit

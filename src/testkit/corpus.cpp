@@ -1,0 +1,128 @@
+#include "testkit/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/contract.hpp"
+
+namespace dbn::testkit {
+
+namespace {
+
+char digit_to_char(Digit d) {
+  DBN_REQUIRE(d < 36, "corpus digit strings support digit values 0..35");
+  return d < 10 ? static_cast<char>('0' + d) : static_cast<char>('a' + d - 10);
+}
+
+Digit char_to_digit(char c) {
+  if (c >= '0' && c <= '9') {
+    return static_cast<Digit>(c - '0');
+  }
+  if (c >= 'a' && c <= 'z') {
+    return static_cast<Digit>(c - 'a' + 10);
+  }
+  DBN_REQUIRE(false, std::string("bad corpus digit character '") + c + "'");
+  return 0;
+}
+
+std::vector<Digit> parse_digits(std::string_view text) {
+  std::vector<Digit> out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    out.push_back(char_to_digit(c));
+  }
+  return out;
+}
+
+NetworkFamily parse_family(std::string_view text) {
+  if (text == "directed") {
+    return NetworkFamily::DeBruijnDirected;
+  }
+  if (text == "undirected") {
+    return NetworkFamily::DeBruijnUndirected;
+  }
+  if (text == "kautz") {
+    return NetworkFamily::Kautz;
+  }
+  DBN_REQUIRE(false, "corpus family must be directed|undirected|kautz, got \"" +
+                         std::string(text) + "\"");
+  return NetworkFamily::DeBruijnUndirected;
+}
+
+}  // namespace
+
+std::string word_to_digit_string(const Word& w) {
+  std::string out;
+  out.reserve(w.length());
+  for (std::size_t i = 0; i < w.length(); ++i) {
+    out.push_back(digit_to_char(w.digit(i)));
+  }
+  return out;
+}
+
+std::string CorpusCase::to_line() const {
+  std::ostringstream out;
+  out << family_name(family) << ' ' << d << ' ' << k << ' '
+      << word_to_digit_string(word_x()) << ' '
+      << word_to_digit_string(word_y());
+  return out.str();
+}
+
+CorpusCase CorpusCase::parse(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  std::string family, x_text, y_text;
+  std::uint32_t d = 0;
+  std::size_t k = 0;
+  in >> family >> d >> k >> x_text >> y_text;
+  DBN_REQUIRE(!in.fail(), "corpus line needs \"<family> <d> <k> <X> <Y>\": " +
+                              std::string(line));
+  std::string rest;
+  in >> rest;
+  DBN_REQUIRE(rest.empty(), "trailing tokens on corpus line: " +
+                                std::string(line));
+  CorpusCase c;
+  c.family = parse_family(family);
+  c.d = d;
+  c.k = k;
+  c.x = parse_digits(x_text);
+  c.y = parse_digits(y_text);
+  DBN_REQUIRE(c.x.size() == k && c.y.size() == k,
+              "corpus words must have length k: " + std::string(line));
+  // Word's constructor validates digit ranges (and Kautz adjacency is
+  // validated by the replaying OracleSet).
+  (void)c.word_x();
+  (void)c.word_y();
+  return c;
+}
+
+std::vector<CorpusCase> load_corpus_file(const std::string& path) {
+  std::ifstream in(path);
+  DBN_REQUIRE(in.good(), "cannot open corpus file " + path);
+  std::vector<CorpusCase> cases;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    cases.push_back(CorpusCase::parse(line));
+  }
+  return cases;
+}
+
+std::vector<std::string> list_corpus_files(const std::string& dir) {
+  namespace fs = std::filesystem;
+  DBN_REQUIRE(fs::is_directory(dir), "not a corpus directory: " + dir);
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".case") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace dbn::testkit

@@ -1,0 +1,56 @@
+// Corpus cases: disagreements (and historically interesting pairs) in a
+// one-line text format, checked into tests/corpus/ and replayed by both
+// test_conformance_corpus.cpp and `dbn_fuzz --replay`.
+//
+// Format, one case per line (blank lines and '#' comments skipped):
+//
+//   <family> <d> <k> <X> <Y>
+//
+// where <family> is directed | undirected | kautz, <d> is the de Bruijn
+// radix (Kautz degree for kautz lines), and the words are digit strings
+// over 0-9a-z (digit values 0..35). Kautz words are over the d+1-letter
+// alphabet. Example: "undirected 2 4 0110 1001".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "debruijn/word.hpp"
+#include "testkit/oracle.hpp"
+
+namespace dbn::testkit {
+
+struct CorpusCase {
+  NetworkFamily family = NetworkFamily::DeBruijnUndirected;
+  std::uint32_t d = 2;  // de Bruijn radix / Kautz degree
+  std::size_t k = 1;
+  std::vector<Digit> x;
+  std::vector<Digit> y;
+
+  /// Word radix: d, or d+1 for Kautz cases.
+  std::uint32_t word_radix() const {
+    return family == NetworkFamily::Kautz ? d + 1 : d;
+  }
+  Word word_x() const { return Word(word_radix(), x); }
+  Word word_y() const { return Word(word_radix(), y); }
+
+  /// The one-line serialization, parse()'s inverse.
+  std::string to_line() const;
+
+  /// Parses one line; throws ContractViolation on malformed input.
+  static CorpusCase parse(std::string_view line);
+};
+
+/// Digits of w as a 0-9a-z string; requires radix <= 36.
+std::string word_to_digit_string(const Word& w);
+
+/// All cases of one corpus file, in file order. Throws if the file cannot
+/// be opened or a non-comment line fails to parse.
+std::vector<CorpusCase> load_corpus_file(const std::string& path);
+
+/// The *.case files directly under `dir`, sorted by name. Throws if `dir`
+/// is not a directory.
+std::vector<std::string> list_corpus_files(const std::string& dir);
+
+}  // namespace dbn::testkit

@@ -1,0 +1,65 @@
+// The conformance fuzzer: a seeded, budgeted loop that samples (network,
+// d, k) points and adversarial word pairs, runs every pair through the
+// Conformance driver, and shrinks any disagreement to a minimal checked-in
+// reproducer. tools/dbn_fuzz is a thin CLI over run_fuzz().
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "testkit/conformance.hpp"
+#include "testkit/corpus.hpp"
+#include "testkit/oracle.hpp"
+
+namespace dbn::testkit {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 10000;
+  /// Stop early after this many seconds; 0 means no time budget.
+  double time_budget_seconds = 0.0;
+  /// Shrink disagreements before reporting (recommended; off for replay
+  /// loops that want the raw pair).
+  bool shrink = true;
+  /// Stop after this many distinct disagreements.
+  std::size_t max_failures = 8;
+  /// Progress / failure log; nullptr for silent operation.
+  std::ostream* log = nullptr;
+  OracleOptions oracle_options;
+};
+
+/// One disagreement, as found and as minimized.
+struct FuzzFailure {
+  CorpusCase original;
+  CorpusCase shrunk;
+  /// Conformance report of the shrunk pair.
+  std::string report;
+  /// Paste-ready regression test (shrinker.hpp).
+  std::string snippet;
+};
+
+struct FuzzReport {
+  std::uint64_t iterations_run = 0;
+  /// Iterations per (family, d, k) point actually exercised.
+  std::vector<std::pair<std::string, std::uint64_t>> point_coverage;
+  std::vector<FuzzFailure> failures;
+  double elapsed_seconds = 0.0;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// The deterministic fuzz loop: same options -> same pairs -> same report.
+FuzzReport run_fuzz(const FuzzOptions& options);
+
+/// Replays one corpus case through a fresh OracleSet of its network.
+PairReport replay_case(const CorpusCase& c, const OracleOptions& options = {});
+
+/// Replays every case of every file; returns the failing reports rendered
+/// as "<file>:<line-ish>: <report>" strings (empty when all pass).
+std::vector<std::string> replay_corpus_files(
+    const std::vector<std::string>& files, const OracleOptions& options = {},
+    std::ostream* log = nullptr);
+
+}  // namespace dbn::testkit

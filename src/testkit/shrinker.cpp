@@ -1,0 +1,169 @@
+#include "testkit/shrinker.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "testkit/corpus.hpp"
+
+namespace dbn::testkit {
+
+namespace {
+
+std::vector<Digit> digits_of(const Word& w) {
+  std::vector<Digit> out(w.length());
+  for (std::size_t i = 0; i < w.length(); ++i) {
+    out[i] = w.digit(i);
+  }
+  return out;
+}
+
+struct PairState {
+  std::uint32_t radix;
+  std::vector<Digit> x;
+  std::vector<Digit> y;
+
+  Word word_x() const { return Word(radix, x); }
+  Word word_y() const { return Word(radix, y); }
+};
+
+bool try_accept(PairState& state, const PairState& candidate,
+                const FailPredicate& still_fails, ShrinkResult& result) {
+  ++result.candidates_tried;
+  if (!still_fails(candidate.word_x(), candidate.word_y())) {
+    return false;
+  }
+  state = candidate;
+  ++result.reductions;
+  return true;
+}
+
+// Pass 1: drop one digit position from both words. Returns true if any
+// drop was accepted (and keeps dropping greedily from the same state).
+bool shrink_length(PairState& state, const FailPredicate& still_fails,
+                   ShrinkResult& result) {
+  bool progressed = false;
+  bool again = true;
+  while (again && state.x.size() > 1) {
+    again = false;
+    for (std::size_t i = 0; i < state.x.size(); ++i) {
+      PairState candidate = state;
+      candidate.x.erase(candidate.x.begin() + static_cast<std::ptrdiff_t>(i));
+      candidate.y.erase(candidate.y.begin() + static_cast<std::ptrdiff_t>(i));
+      if (try_accept(state, candidate, still_fails, result)) {
+        progressed = again = true;
+        break;
+      }
+    }
+  }
+  return progressed;
+}
+
+// Pass 2: lower digits — each position to 0, then by one.
+bool shrink_digits(PairState& state, const FailPredicate& still_fails,
+                   ShrinkResult& result) {
+  bool progressed = false;
+  for (std::vector<Digit> PairState::* side : {&PairState::x, &PairState::y}) {
+    for (std::size_t i = 0; i < (state.*side).size(); ++i) {
+      while ((state.*side)[i] > 0) {
+        PairState candidate = state;
+        (candidate.*side)[i] = 0;
+        if (!try_accept(state, candidate, still_fails, result)) {
+          candidate = state;
+          --(candidate.*side)[i];
+          if (!try_accept(state, candidate, still_fails, result)) {
+            break;
+          }
+        }
+        progressed = true;
+      }
+    }
+  }
+  return progressed;
+}
+
+// Pass 3: shrink the alphabet to the digits actually used.
+bool shrink_radix(PairState& state, const FailPredicate& still_fails,
+                  ShrinkResult& result) {
+  Digit max_digit = 0;
+  for (const auto* side : {&state.x, &state.y}) {
+    for (const Digit v : *side) {
+      max_digit = std::max(max_digit, v);
+    }
+  }
+  const std::uint32_t smallest = max_digit + 1;
+  bool progressed = false;
+  while (state.radix > smallest) {
+    PairState candidate = state;
+    --candidate.radix;
+    if (!try_accept(state, candidate, still_fails, result)) {
+      break;
+    }
+    progressed = true;
+  }
+  return progressed;
+}
+
+}  // namespace
+
+ShrinkResult shrink_pair(Word x, Word y, const FailPredicate& still_fails) {
+  DBN_REQUIRE(x.radix() == y.radix() && x.length() == y.length(),
+              "shrink_pair needs words of equal radix and length");
+  DBN_REQUIRE(still_fails(x, y), "shrink_pair needs a failing pair to start");
+  PairState state{x.radix(), digits_of(x), digits_of(y)};
+  ShrinkResult result{x, y, 0, 0};
+  bool progressed = true;
+  while (progressed) {
+    progressed = shrink_length(state, still_fails, result);
+    progressed = shrink_digits(state, still_fails, result) || progressed;
+    progressed = shrink_radix(state, still_fails, result) || progressed;
+  }
+  result.x = state.word_x();
+  result.y = state.word_y();
+  return result;
+}
+
+std::string regression_snippet(const ShrinkResult& result,
+                               std::string_view label) {
+  const Word& x = result.x;
+  const Word& y = result.y;
+  std::string title(label);
+  if (!title.empty()) {
+    title[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(title[0])));
+  }
+  // Corpus lines carry the Kautz degree, one below the word radix.
+  const std::uint32_t corpus_d =
+      label == "kautz" ? x.radix() - 1 : x.radix();
+  std::ostringstream out;
+  out << "// dbn_fuzz reproducer (corpus line: \"" << label << ' ' << corpus_d
+      << ' ' << x.length() << ' ' << word_to_digit_string(x) << ' '
+      << word_to_digit_string(y) << "\")\n";
+  out << "TEST(ConformanceRegression, " << title << "_D" << x.radix() << "_K"
+      << x.length() << "_X" << word_to_digit_string(x) << "_Y"
+      << word_to_digit_string(y) << ") {\n";
+  out << "  const Word x(" << x.radix() << ", {";
+  for (std::size_t i = 0; i < x.length(); ++i) {
+    out << (i ? ", " : "") << x.digit(i);
+  }
+  out << "});\n  const Word y(" << y.radix() << ", {";
+  for (std::size_t i = 0; i < y.length(); ++i) {
+    out << (i ? ", " : "") << y.digit(i);
+  }
+  out << "});\n";
+  if (label == "kautz") {
+    out << "  const auto set = testkit::OracleSet::kautz(x.radix() - 1, "
+           "x.length());\n";
+  } else {
+    out << "  const auto set = testkit::OracleSet::debruijn(\n"
+           "      x.radix(), x.length(), Orientation::"
+        << (label == "directed" ? "Directed" : "Undirected") << ");\n";
+  }
+  out << "  const auto report = testkit::Conformance(set).check(x, y);\n"
+         "  EXPECT_TRUE(report.ok()) << report.to_string();\n"
+         "}\n";
+  return out.str();
+}
+
+}  // namespace dbn::testkit

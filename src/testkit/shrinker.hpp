@@ -1,0 +1,50 @@
+// Greedy pair shrinker: minimizes a disagreeing (X, Y, d, k) to a smallest
+// reproducer and renders it as a checked-in regression artifact.
+//
+// Given any predicate that still holds on the original pair ("some oracle
+// disagrees"), the shrinker repeatedly applies the cheapest simplification
+// that preserves the predicate, to a fixpoint:
+//   1. drop a digit position from both words (k -> k-1);
+//   2. lower individual digits (to 0, then by one);
+//   3. shrink the alphabet to the digits actually used.
+// The result is deterministic (transformations are tried in a fixed order)
+// so the same disagreement always shrinks to the same reproducer.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "debruijn/word.hpp"
+
+namespace dbn::testkit {
+
+/// Returns true while the pair still exhibits the failure being minimized.
+/// Must be prepared for any k >= 1 and any radix in [1, original d].
+using FailPredicate = std::function<bool(const Word& x, const Word& y)>;
+
+struct ShrinkResult {
+  Word x;
+  Word y;
+  /// Number of accepted simplification steps.
+  int reductions = 0;
+  /// Number of candidate pairs evaluated.
+  int candidates_tried = 0;
+};
+
+/// Greedily minimizes (x, y) under `still_fails`; requires
+/// still_fails(x, y) on entry. Both words keep equal length and radix
+/// throughout.
+ShrinkResult shrink_pair(Word x, Word y, const FailPredicate& still_fails);
+
+/// Renders a shrunk reproducer as a self-contained gtest snippet suitable
+/// for pasting into tests/ (and a corpus line in a comment), e.g. for
+/// `label` == "undirected":
+///
+///   // dbn_fuzz reproducer (corpus line: "undirected 2 2 01 01")
+///   TEST(ConformanceRegression, Undirected_D2_K2_X01_Y01) { ... }
+std::string regression_snippet(const ShrinkResult& result,
+                               std::string_view label);
+
+}  // namespace dbn::testkit

@@ -1,0 +1,70 @@
+// Adversarial word-family generators for the conformance fuzzer.
+//
+// Uniform random pairs almost never exercise the interesting regions of
+// Property 1 / Theorem 2: over a non-trivial alphabet, two random words
+// share essentially no structure, so every matching function is ~0 and the
+// distance is ~k. The families here concentrate probability mass on the
+// boundary words the proofs sweat over — periodic words (many borders,
+// failure-function-heavy), Lyndon words (no proper border at all),
+// all-equal and alternating words (degenerate failure functions), and
+// planted-structure *pairs* (shared overlap, shared interior block,
+// rotations, reversals) that force the l/r minimizers of Theorem 2 away
+// from the trivial corner.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn::testkit {
+
+/// Structure of a single sampled word.
+enum class WordFamily {
+  Uniform,      // i.i.d. digits
+  AllEqual,     // (c, c, ..., c)
+  Alternating,  // (a, b, a, b, ...) with a != b when d >= 2
+  Periodic,     // random block of length p <= k/2, repeated and truncated
+  Lyndon,       // lexicographically least rotation of a primitive word
+  SelfOverlap,  // short seed repeated with one corrupted digit: border-rich
+  FewDistinct,  // digits drawn from a 2-symbol subset of a large alphabet
+};
+
+inline constexpr std::array<WordFamily, 7> kAllWordFamilies = {
+    WordFamily::Uniform,    WordFamily::AllEqual, WordFamily::Alternating,
+    WordFamily::Periodic,   WordFamily::Lyndon,   WordFamily::SelfOverlap,
+    WordFamily::FewDistinct,
+};
+
+std::string_view family_name(WordFamily family);
+
+/// Relation between the two words of a pair.
+enum class PairFamily {
+  Independent,    // Y sampled from the same family, independently
+  Equal,          // Y == X (the distance-0 diagonal)
+  Rotation,       // Y is a rotation of X (distance <= min over shifts)
+  PlantedSuffix,  // Y begins with a random-length suffix of X (Property 1)
+  PlantedCore,    // a shared block at random offsets in X and Y (Theorem 2)
+  Reversal,       // Y is the reversal of X (stresses the r-side reduction)
+};
+
+inline constexpr std::array<PairFamily, 6> kAllPairFamilies = {
+    PairFamily::Independent,   PairFamily::Equal,
+    PairFamily::Rotation,      PairFamily::PlantedSuffix,
+    PairFamily::PlantedCore,   PairFamily::Reversal,
+};
+
+std::string_view family_name(PairFamily family);
+
+/// One word of length k over [0, d) with the family's structure.
+Word sample_word(Rng& rng, std::uint32_t d, std::size_t k, WordFamily family);
+
+/// A pair for DG(d,k): X from `word_family`, Y related to X per
+/// `pair_family`.
+std::pair<Word, Word> sample_pair(Rng& rng, std::uint32_t d, std::size_t k,
+                                  WordFamily word_family,
+                                  PairFamily pair_family);
+
+}  // namespace dbn::testkit

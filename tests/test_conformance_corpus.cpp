@@ -1,0 +1,56 @@
+// Replays every checked-in corpus case (tests/corpus/*.case) through a
+// fresh OracleSet of its network. The corpus holds pairs that once broke
+// (or nearly broke) an implementation; each must now pass the full
+// conformance check — distance agreement, path validity, length coherence
+// and Theorem 2 shape.
+#include <gtest/gtest.h>
+
+#include "testkit/corpus.hpp"
+#include "testkit/fuzzer.hpp"
+
+#ifndef DBN_CORPUS_DIR
+#error "DBN_CORPUS_DIR must point at tests/corpus (set by tests/CMakeLists.txt)"
+#endif
+
+namespace dbn::testkit {
+namespace {
+
+TEST(ConformanceCorpus, CorpusIsNonEmpty) {
+  const std::vector<std::string> files = list_corpus_files(DBN_CORPUS_DIR);
+  EXPECT_GE(files.size(), 3u) << "expected seed corpus under " << DBN_CORPUS_DIR;
+  std::size_t cases = 0;
+  for (const std::string& file : files) {
+    cases += load_corpus_file(file).size();
+  }
+  EXPECT_GE(cases, 10u);
+}
+
+TEST(ConformanceCorpus, EveryCaseRoundTripsThroughTheLineFormat) {
+  for (const std::string& file : list_corpus_files(DBN_CORPUS_DIR)) {
+    for (const CorpusCase& c : load_corpus_file(file)) {
+      const CorpusCase reparsed = CorpusCase::parse(c.to_line());
+      EXPECT_EQ(reparsed.to_line(), c.to_line()) << "in " << file;
+      EXPECT_EQ(reparsed.word_x(), c.word_x());
+      EXPECT_EQ(reparsed.word_y(), c.word_y());
+    }
+  }
+}
+
+TEST(ConformanceCorpus, EveryCasePassesConformance) {
+  for (const std::string& file : list_corpus_files(DBN_CORPUS_DIR)) {
+    for (const CorpusCase& c : load_corpus_file(file)) {
+      const PairReport report = replay_case(c);
+      EXPECT_TRUE(report.ok())
+          << file << ": \"" << c.to_line() << "\"\n" << report.to_string();
+    }
+  }
+}
+
+TEST(ConformanceCorpus, ReplayHelperAgreesWithPerCaseReplay) {
+  const std::vector<std::string> failing =
+      replay_corpus_files(list_corpus_files(DBN_CORPUS_DIR));
+  EXPECT_TRUE(failing.empty()) << failing.front();
+}
+
+}  // namespace
+}  // namespace dbn::testkit

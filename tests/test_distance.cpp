@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/rng.hpp"
@@ -50,8 +51,40 @@ INSTANTIATE_TEST_SUITE_P(SmallGrid, DistanceGrid,
                          ::testing::ValuesIn(dbn::testing::small_grid()),
                          ::testing::PrintToStringParamName());
 
+// The degenerate corners (d=1 single-vertex networks, k=1 complete-ish
+// graphs) go through the same all-pairs BFS cross-check as the interior.
+INSTANTIATE_TEST_SUITE_P(DegenerateGrid, DistanceGrid,
+                         ::testing::ValuesIn(dbn::testing::degenerate_grid()),
+                         ::testing::PrintToStringParamName());
+
+TEST(Distance, OneLetterAlphabetIsAlwaysAtDistanceZero) {
+  // DG(1,k) has the single vertex (0,...,0); both formulas must degrade
+  // gracefully instead of tripping on the empty failure-function table.
+  for (std::size_t k : {1u, 2u, 7u}) {
+    const Word only = Word::zero(1, k);
+    EXPECT_EQ(directed_distance(only, only), 0);
+    EXPECT_EQ(undirected_distance(only, only), 0);
+    EXPECT_EQ(undirected_distance_quadratic(only, only), 0);
+  }
+}
+
+TEST(Distance, ExplicitXEqualsYAcrossGrids) {
+  for (const auto& grids :
+       {dbn::testing::small_grid(), dbn::testing::degenerate_grid()}) {
+    for (const auto& [d, k] : grids) {
+      for (std::uint64_t r = 0; r < std::min<std::uint64_t>(
+                                        Word::vertex_count(d, k), 64);
+           ++r) {
+        const Word x = Word::from_rank(d, k, r);
+        EXPECT_EQ(directed_distance(x, x), 0) << "d=" << d << " k=" << k;
+        EXPECT_EQ(undirected_distance(x, x), 0) << "d=" << d << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(Distance, LinearAndQuadraticAgreeOnLargeRandomWords) {
-  Rng rng(2024);
+  DBN_SEEDED_RNG(rng, 2024);
   for (const auto& [d, k] : dbn::testing::large_grid()) {
     for (int trial = 0; trial < 40; ++trial) {
       const Word x = testing::random_word(rng, d, k);
@@ -64,7 +97,7 @@ TEST(Distance, LinearAndQuadraticAgreeOnLargeRandomWords) {
 }
 
 TEST(Distance, UndirectedSymmetryOnRandomWords) {
-  Rng rng(2025);
+  DBN_SEEDED_RNG(rng, 2025);
   for (int trial = 0; trial < 300; ++trial) {
     const std::uint32_t d = 2 + trial % 3;
     const std::size_t k = 1 + rng.below(24);
@@ -76,7 +109,7 @@ TEST(Distance, UndirectedSymmetryOnRandomWords) {
 }
 
 TEST(Distance, UndirectedNeverExceedsDirected) {
-  Rng rng(2026);
+  DBN_SEEDED_RNG(rng, 2026);
   for (int trial = 0; trial < 300; ++trial) {
     const std::uint32_t d = 2 + trial % 3;
     const std::size_t k = 1 + rng.below(16);
@@ -87,7 +120,7 @@ TEST(Distance, UndirectedNeverExceedsDirected) {
 }
 
 TEST(Distance, ZeroIffEqual) {
-  Rng rng(2027);
+  DBN_SEEDED_RNG(rng, 2027);
   for (int trial = 0; trial < 200; ++trial) {
     const std::uint32_t d = 2 + trial % 4;
     const std::size_t k = 1 + rng.below(12);

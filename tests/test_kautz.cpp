@@ -78,7 +78,9 @@ TEST(Kautz, BeatsDeBruijnAtEqualDegreeAndDiameter) {
 }
 
 TEST(Kautz, RejectsBadArguments) {
-  EXPECT_THROW(KautzGraph(1, 3), ContractViolation);
+  // K(1,k) is the valid degenerate 2-cycle; degree 0 is rejected.
+  EXPECT_NO_THROW(KautzGraph(1, 3));
+  EXPECT_THROW(KautzGraph(0, 3), ContractViolation);
   const KautzGraph g(2, 2);
   EXPECT_THROW(g.word(12), ContractViolation);
   EXPECT_THROW(g.rank(Word(3, {1, 1})), ContractViolation);

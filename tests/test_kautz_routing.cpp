@@ -47,7 +47,7 @@ TEST(KautzRouting, DistanceFormulaMatchesBfsAllPairs) {
 
 TEST(KautzRouting, PathsAreValidKautzWalks) {
   const KautzGraph g(3, 4);
-  Rng rng(88);
+  DBN_SEEDED_RNG(rng, 88);
   for (int trial = 0; trial < 300; ++trial) {
     const Word x = g.word(rng.below(g.vertex_count()));
     const Word y = g.word(rng.below(g.vertex_count()));
@@ -70,6 +70,57 @@ TEST(KautzRouting, SelfRouteIsEmpty) {
   const Word w = g.word(5);
   EXPECT_TRUE(kautz_route(g, w, w).empty());
   EXPECT_EQ(kautz_directed_distance(g, w, w), 0);
+}
+
+TEST(KautzRouting, DegenerateDegreeOneIsATwoCycle) {
+  // K(1,k) has exactly the two alternating words over {0,1}; routing must
+  // handle the unique-out-neighbor case.
+  for (std::size_t k : {1u, 2u, 5u}) {
+    const KautzGraph g(1, k);
+    ASSERT_EQ(g.vertex_count(), 2u);
+    for (std::uint64_t xr = 0; xr < 2; ++xr) {
+      const Word x = g.word(xr);
+      const std::vector<int> dist = kautz_bfs(g, xr);
+      for (std::uint64_t yr = 0; yr < 2; ++yr) {
+        const Word y = g.word(yr);
+        EXPECT_EQ(kautz_directed_distance(g, x, y), dist[yr]);
+        const RoutingPath path = kautz_route(g, x, y);
+        EXPECT_EQ(static_cast<int>(path.length()), dist[yr]);
+        Word at = x;
+        for (const Hop& h : path.hops()) {
+          EXPECT_NE(h.digit, at.digit(at.length() - 1));
+          at = at.left_shift(h.digit);
+        }
+        EXPECT_EQ(at, y);
+      }
+    }
+  }
+}
+
+TEST(KautzRouting, DegenerateKOneAndXEqualsYAllPairs) {
+  // k = 1: the in-word adjacency rule is vacuous and the move rule
+  // (append a != x_1) makes K(d,1) the complete digraph on d+1 vertices.
+  for (std::uint32_t d : {1u, 2u, 5u}) {
+    const KautzGraph g(d, 1);
+    for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+      const Word x = g.word(xr);
+      EXPECT_TRUE(kautz_route(g, x, x).empty());
+      EXPECT_EQ(kautz_directed_distance(g, x, x), 0);
+      for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+        const Word y = g.word(yr);
+        const int expected = xr == yr ? 0 : 1;
+        EXPECT_EQ(kautz_directed_distance(g, x, y), expected);
+        EXPECT_EQ(static_cast<int>(kautz_route(g, x, y).length()), expected);
+      }
+    }
+  }
+  // Explicit X == Y on a larger graph.
+  const KautzGraph g(3, 4);
+  for (std::uint64_t r = 0; r < g.vertex_count(); r += 5) {
+    const Word w = g.word(r);
+    EXPECT_TRUE(kautz_route(g, w, w).empty());
+    EXPECT_EQ(kautz_directed_distance(g, w, w), 0);
+  }
 }
 
 TEST(KautzRouting, RejectsNonKautzWords) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/contract.hpp"
 #include "common/rng.hpp"
 #include "core/bfs_router.hpp"
@@ -95,8 +97,40 @@ INSTANTIATE_TEST_SUITE_P(SmallGrid, RouterGrid,
                          ::testing::ValuesIn(dbn::testing::small_grid()),
                          ::testing::PrintToStringParamName());
 
+// Degenerate corners (d=1, k=1) run the identical all-pairs sweeps: every
+// router must handle the single-vertex and diameter-1 networks.
+INSTANTIATE_TEST_SUITE_P(DegenerateGrid, RouterGrid,
+                         ::testing::ValuesIn(dbn::testing::degenerate_grid()),
+                         ::testing::PrintToStringParamName());
+
+TEST(Routers, OneLetterAlphabetRoutesAreEmpty) {
+  for (std::size_t k : {1u, 3u, 6u}) {
+    const Word only = Word::zero(1, k);
+    EXPECT_TRUE(route_unidirectional(only, only).empty());
+    EXPECT_TRUE(route_bidirectional_mp(only, only).empty());
+    EXPECT_TRUE(route_bidirectional_suffix_tree(only, only).empty());
+    EXPECT_TRUE(route_bidirectional_suffix_automaton(only, only).empty());
+  }
+}
+
+TEST(Routers, ExplicitXEqualsYAcrossGrids) {
+  for (const auto& grids :
+       {dbn::testing::small_grid(), dbn::testing::degenerate_grid()}) {
+    for (const auto& [d, k] : grids) {
+      const std::uint64_t n = Word::vertex_count(d, k);
+      for (std::uint64_t r = 0; r < std::min<std::uint64_t>(n, 32); ++r) {
+        const Word x = Word::from_rank(d, k, r);
+        EXPECT_TRUE(route_unidirectional(x, x).empty());
+        EXPECT_TRUE(route_bidirectional_mp(x, x).empty());
+        EXPECT_TRUE(route_bidirectional_suffix_tree(x, x).empty());
+        EXPECT_TRUE(route_bidirectional_suffix_automaton(x, x).empty());
+      }
+    }
+  }
+}
+
 TEST(Routers, WildcardPathsReachDestinationUnderAnyResolution) {
-  Rng rng(3001);
+  DBN_SEEDED_RNG(rng, 3001);
   for (int trial = 0; trial < 300; ++trial) {
     const std::uint32_t d = 2 + trial % 3;
     const std::size_t k = 1 + rng.below(10);
@@ -120,7 +154,7 @@ TEST(Routers, WildcardPathsReachDestinationUnderAnyResolution) {
 }
 
 TEST(Routers, LargeWordsRoutersAgreeAndPathsValid) {
-  Rng rng(3002);
+  DBN_SEEDED_RNG(rng, 3002);
   for (const auto& [d, k] : dbn::testing::large_grid()) {
     for (int trial = 0; trial < 25; ++trial) {
       const Word x = testing::random_word(rng, d, k);

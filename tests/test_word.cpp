@@ -14,7 +14,10 @@ TEST(Word, ConstructionValidatesDigits) {
   EXPECT_NO_THROW(Word(2, {0, 1, 1}));
   EXPECT_THROW(Word(2, {0, 2, 1}), ContractViolation);
   EXPECT_THROW(Word(2, {}), ContractViolation);
-  EXPECT_THROW(Word(1, {0}), ContractViolation);
+  // The degenerate one-letter alphabet is a valid (single-vertex) network.
+  EXPECT_NO_THROW(Word(1, {0}));
+  EXPECT_THROW(Word(1, {1}), ContractViolation);
+  EXPECT_THROW(Word(0, {0}), ContractViolation);
 }
 
 TEST(Word, RankRoundTrips) {

@@ -1,10 +1,15 @@
-// Shared helpers for the test suite: random word/string generation and the
-// (d,k) parameter grids used by the BFS-validated property sweeps.
+// Shared helpers for the test suite: random word/string generation, the
+// (d,k) parameter grids used by the BFS-validated property sweeps, and
+// shard-replayable RNG seeding.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
+#include <sstream>
+#include <string>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "common/rng.hpp"
 #include "debruijn/word.hpp"
@@ -33,6 +38,14 @@ inline std::vector<DkParam> small_grid() {
   };
 }
 
+/// Degenerate corners: the one-letter alphabet (single-vertex networks)
+/// and diameter-1 graphs. Kept out of small_grid() because closed forms
+/// like equation (5) divide by 1 - 1/d; everything route-related must
+/// still work here.
+inline std::vector<DkParam> degenerate_grid() {
+  return {{1, 1}, {1, 2}, {1, 5}, {2, 1}, {5, 1}, {11, 1}};
+}
+
 /// Larger k, used where only per-pair (not all-pairs) work is done.
 inline std::vector<DkParam> large_grid() {
   return {{2, 16}, {2, 33}, {2, 64}, {3, 21}, {5, 13}, {10, 9}};
@@ -55,4 +68,37 @@ inline Word random_word(Rng& rng, std::uint32_t radix, std::size_t k) {
   return Word(radix, std::move(digits));
 }
 
+/// The base seed gtest was (re)started with: --gtest_random_seed=N /
+/// GTEST_RANDOM_SEED, 0 unless shuffling. Mixing it into every random
+/// test's RNG makes a shuffled shard's failures replayable bit-for-bit by
+/// re-running with the seed gtest printed.
+inline std::uint64_t gtest_base_seed() {
+  const auto* unit = ::testing::UnitTest::GetInstance();
+  return unit == nullptr ? 0
+                         : static_cast<std::uint64_t>(unit->random_seed());
+}
+
+/// Seed for one test: the gtest base seed mixed (splitmix64-style) with a
+/// per-test tag so distinct tests draw independent streams.
+inline std::uint64_t shard_seed(std::uint64_t tag) {
+  std::uint64_t z = gtest_base_seed() + 0x9e3779b97f4a7c15ull * (tag + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Human-readable provenance attached to failures via SCOPED_TRACE.
+inline std::string seed_trace(std::uint64_t tag) {
+  std::ostringstream out;
+  out << "rng: tag=" << tag << " gtest_random_seed=" << gtest_base_seed()
+      << " (replay with --gtest_random_seed=" << gtest_base_seed() << ")";
+  return out.str();
+}
+
 }  // namespace dbn::testing
+
+/// Declares `var`, an Rng seeded from the gtest shard seed and `tag`, and
+/// attaches the seed to any failure inside the current scope.
+#define DBN_SEEDED_RNG(var, tag)                          \
+  ::dbn::Rng var(::dbn::testing::shard_seed(tag));        \
+  SCOPED_TRACE(::dbn::testing::seed_trace(tag))

@@ -1,0 +1,232 @@
+// dbn_fuzz — differential conformance fuzzer for every router in the
+// library (src/testkit).
+//
+//   dbn_fuzz [--seed N] [--iters N] [--time-budget SEC] [--max-bfs N]
+//            [--no-shrink] [--max-failures N] [--quiet]
+//   dbn_fuzz --replay <case-file | corpus-dir | inline-case>
+//
+// Flags accept both "--flag value" and "--flag=value". An inline replay
+// case uses ':' separators, e.g. --replay undirected:2:4:0110:1001 (the
+// corpus file format with spaces replaced).
+//
+// Exit status: 0 when every oracle agrees on every pair, 1 on any
+// disagreement (the shrunk reproducer, its corpus line and a paste-ready
+// regression test are printed), 2 on usage errors.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "testkit/fuzzer.hpp"
+
+namespace {
+
+using namespace dbn;
+
+void usage(std::ostream& out) {
+  out << "usage:\n"
+         "  dbn_fuzz [--seed N] [--iters N] [--time-budget SEC] "
+         "[--max-bfs N]\n"
+         "           [--no-shrink] [--max-failures N] [--quiet]\n"
+         "  dbn_fuzz --replay <case-file | corpus-dir | inline-case>\n"
+         "inline cases use ':' separators, e.g. undirected:2:4:0110:1001\n";
+}
+
+struct ParsedArgs {
+  std::vector<std::string> replays;
+  bool quiet = false;
+  bool ok = true;
+  testkit::FuzzOptions fuzz;
+};
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+ParsedArgs parse_args(int argc, char** argv) {
+  ParsedArgs parsed;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  // Split "--flag=value" into "--flag value".
+  std::vector<std::string> flat;
+  for (const std::string& a : args) {
+    const auto eq = a.find('=');
+    if (a.starts_with("--") && eq != std::string::npos) {
+      flat.push_back(a.substr(0, eq));
+      flat.push_back(a.substr(eq + 1));
+    } else {
+      flat.push_back(a);
+    }
+  }
+  const auto take_value = [&flat](std::size_t& i) -> std::optional<std::string> {
+    if (i + 1 >= flat.size()) {
+      return std::nullopt;
+    }
+    return flat[++i];
+  };
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const std::string& arg = flat[i];
+    const auto number = [&](std::uint64_t& out) {
+      const auto text = take_value(i);
+      const auto value = text ? parse_u64(*text) : std::nullopt;
+      if (!value) {
+        std::cerr << "dbn_fuzz: " << arg << " needs a number\n";
+        parsed.ok = false;
+        return;
+      }
+      out = *value;
+    };
+    if (arg == "--seed") {
+      number(parsed.fuzz.seed);
+    } else if (arg == "--iters") {
+      number(parsed.fuzz.iterations);
+    } else if (arg == "--max-bfs") {
+      number(parsed.fuzz.oracle_options.max_bfs_vertices);
+    } else if (arg == "--max-failures") {
+      std::uint64_t value = parsed.fuzz.max_failures;
+      number(value);
+      parsed.fuzz.max_failures = static_cast<std::size_t>(value);
+    } else if (arg == "--time-budget") {
+      const auto text = take_value(i);
+      try {
+        parsed.fuzz.time_budget_seconds = text ? std::stod(*text) : -1.0;
+      } catch (const std::exception&) {
+        parsed.fuzz.time_budget_seconds = -1.0;
+      }
+      if (!text || parsed.fuzz.time_budget_seconds < 0) {
+        std::cerr << "dbn_fuzz: --time-budget needs seconds\n";
+        parsed.ok = false;
+      }
+    } else if (arg == "--replay") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_fuzz: --replay needs an argument\n";
+        parsed.ok = false;
+      } else {
+        parsed.replays.push_back(*text);
+      }
+    } else if (arg == "--no-shrink") {
+      parsed.fuzz.shrink = false;
+    } else if (arg == "--quiet") {
+      parsed.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "dbn_fuzz: unknown argument " << arg << "\n";
+      parsed.ok = false;
+    }
+  }
+  return parsed;
+}
+
+int run_replays(const ParsedArgs& parsed) {
+  namespace fs = std::filesystem;
+  std::ostream* log = parsed.quiet ? nullptr : &std::cout;
+  std::vector<std::string> failures;
+  for (const std::string& target : parsed.replays) {
+    if (fs::is_directory(target)) {
+      const auto files = testkit::list_corpus_files(target);
+      if (files.empty()) {
+        std::cerr << "dbn_fuzz: no *.case files in " << target << "\n";
+        return 2;
+      }
+      const auto dir_failures = testkit::replay_corpus_files(
+          files, parsed.fuzz.oracle_options, log);
+      failures.insert(failures.end(), dir_failures.begin(),
+                      dir_failures.end());
+    } else if (fs::is_regular_file(target)) {
+      const auto file_failures = testkit::replay_corpus_files(
+          {target}, parsed.fuzz.oracle_options, log);
+      failures.insert(failures.end(), file_failures.begin(),
+                      file_failures.end());
+    } else {
+      // Inline case with ':' separators.
+      std::string line = target;
+      std::replace(line.begin(), line.end(), ':', ' ');
+      const auto c = testkit::CorpusCase::parse(line);
+      const auto report =
+          testkit::replay_case(c, parsed.fuzz.oracle_options);
+      if (log != nullptr) {
+        *log << report.to_string() << "\n";
+      }
+      if (!report.ok()) {
+        failures.push_back(c.to_line() + "\n" + report.to_string());
+      }
+    }
+  }
+  if (!failures.empty()) {
+    std::cerr << "dbn_fuzz: " << failures.size() << " replay failure(s)\n";
+    for (const std::string& f : failures) {
+      std::cerr << f << "\n";
+    }
+    return 1;
+  }
+  if (log != nullptr) {
+    *log << "dbn_fuzz: all replayed cases conform\n";
+  }
+  return 0;
+}
+
+int run_fuzz_loop(ParsedArgs& parsed) {
+  if (!parsed.quiet) {
+    parsed.fuzz.log = &std::cout;
+  }
+  const testkit::FuzzReport report = testkit::run_fuzz(parsed.fuzz);
+  if (!parsed.quiet) {
+    std::cout << "dbn_fuzz: " << report.iterations_run << " iterations in "
+              << report.elapsed_seconds << "s across "
+              << report.point_coverage.size() << " (network, d, k) points\n";
+    for (const auto& [point, count] : report.point_coverage) {
+      std::cout << "  " << point << ": " << count << " pairs\n";
+    }
+  }
+  if (!report.ok()) {
+    std::cerr << "dbn_fuzz: " << report.failures.size()
+              << " disagreement(s); shrunk reproducers:\n";
+    for (const auto& failure : report.failures) {
+      std::cerr << "  " << failure.shrunk.to_line() << "\n"
+                << failure.report << "\n"
+                << failure.snippet << "\n";
+    }
+    return 1;
+  }
+  if (!parsed.quiet) {
+    std::cout << "dbn_fuzz: zero disagreements across all oracles\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ParsedArgs parsed = parse_args(argc, argv);
+    if (!parsed.ok) {
+      usage(std::cerr);
+      return 2;
+    }
+    if (!parsed.replays.empty()) {
+      return run_replays(parsed);
+    }
+    return run_fuzz_loop(parsed);
+  } catch (const dbn::ContractViolation& e) {
+    std::cerr << "dbn_fuzz: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dbn_fuzz: " << e.what() << "\n";
+    return 2;
+  }
+}
