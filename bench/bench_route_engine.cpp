@@ -6,9 +6,17 @@
 // in a BidirectionalRouteEngine. At small k (the practical regime — a
 // physical network with k = 16 already has 65536 sites) the engine's
 // advantage is the difference between the algorithm's cost and malloc's.
+// Batch mode (BM_BatchEngine*) measures the same Algorithm 2/3 kernel
+// driven by the parallel BatchRouteEngine: a chunked thread pool over
+// per-worker scratch arenas, with an optional sharded memo cache for
+// repeated (X, Y) flows. The thread sweep 1/2/4/8 is the CI smoke grid
+// recorded in BENCH_*.json (docs/benchmarking.md).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/rng.hpp"
+#include "core/batch_route_engine.hpp"
 #include "core/route_engine.hpp"
 #include "core/routers.hpp"
 
@@ -63,6 +71,84 @@ void BM_EngineDistanceOnly(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EngineDistanceOnly)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+// The CI smoke grid: DG(2,10), random pairs, 8192 queries per batch.
+constexpr std::uint32_t kSmokeD = 2;
+constexpr std::size_t kSmokeK = 10;
+constexpr std::size_t kSmokeBatch = 8192;
+
+std::vector<RouteQuery> smoke_queries(std::size_t count, std::size_t flows) {
+  Rng rng(kSmokeK);
+  std::vector<RouteQuery> queries;
+  queries.reserve(count);
+  if (flows > 0) {
+    // `flows` distinct hot pairs cycled through the batch (cache regime).
+    std::vector<RouteQuery> hot;
+    for (std::size_t i = 0; i < flows; ++i) {
+      hot.push_back(RouteQuery{random_word(rng, kSmokeD, kSmokeK),
+                               random_word(rng, kSmokeD, kSmokeK)});
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      queries.push_back(hot[i % flows]);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      queries.push_back(RouteQuery{random_word(rng, kSmokeD, kSmokeK),
+                                   random_word(rng, kSmokeD, kSmokeK)});
+    }
+  }
+  return queries;
+}
+
+void BM_BatchEngine(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<RouteQuery> queries = smoke_queries(kSmokeBatch, 0);
+  BatchRouteEngine engine(kSmokeD, kSmokeK,
+                          BatchRouteOptions{.threads = threads, .chunk = 256});
+  std::vector<RoutingPath> out;
+  for (auto _ : state) {
+    engine.route_batch_into(queries, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_BatchEngine)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BatchEngineCached(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  // 64 hot flows repeated across the batch; the sharded memo cache turns
+  // the steady state into hash + lock + copy.
+  const std::vector<RouteQuery> queries = smoke_queries(kSmokeBatch, 64);
+  BatchRouteEngine engine(
+      kSmokeD, kSmokeK,
+      BatchRouteOptions{
+          .threads = threads, .chunk = 256, .cache_entries = 4096});
+  std::vector<RoutingPath> out;
+  for (auto _ : state) {
+    engine.route_batch_into(queries, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+  state.counters["hit_rate"] = benchmark::Counter(
+      static_cast<double>(engine.last_stats().cache_hits) /
+      static_cast<double>(engine.last_stats().cache_lookups));
+}
+BENCHMARK(BM_BatchEngineCached)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BatchEngineDistanceOnly(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<RouteQuery> queries = smoke_queries(kSmokeBatch, 0);
+  BatchRouteEngine engine(kSmokeD, kSmokeK,
+                          BatchRouteOptions{.threads = threads, .chunk = 256});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.distance_batch(queries));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_BatchEngineDistanceOnly)->Arg(1)->Arg(8)->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Record and compare normalized benchmark baselines (schema dbn-bench/1).
+
+Two subcommands:
+
+  record   Run the perf suite and write a normalized JSON report:
+           - tools/dbn_bench (the parallel batch-route engine sweep), and
+           - any requested Google-Benchmark binaries from bench/, executed
+             with --benchmark_format=json and folded into the same schema.
+           The output is the committed BENCH_<date>.json format described
+           in docs/benchmarking.md.
+
+  compare  Check a fresh report against a committed baseline and fail
+           (exit 1) when any comparable single-thread entry regressed by
+           more than --max-ratio (default 2.0x ns/query). Multi-thread
+           entries are reported but never gate: their timing depends on
+           the runner's core count, which differs across hosts.
+
+Examples:
+  scripts/bench_report.py record --build-dir build --smoke --out bench.json
+  scripts/bench_report.py compare --baseline BENCH_2026-08-06.json bench.json
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA = "dbn-bench/1"
+
+
+def run_dbn_bench(build_dir, smoke, extra_args):
+    """Run tools/dbn_bench and return its parsed JSON report."""
+    binary = os.path.join(build_dir, "tools", "dbn_bench")
+    if not os.path.exists(binary):
+        sys.exit(f"bench_report: {binary} not found (build the tools first)")
+    out_path = os.path.join(build_dir, "dbn_bench_report.json")
+    cmd = [binary, "--json", out_path]
+    if smoke:
+        # --min-speedup 0 here: recording must not fail on slow runners;
+        # the speedup is recorded in the JSON and gated by CI policy.
+        cmd += ["--smoke", "--min-speedup", "0"]
+    cmd += extra_args
+    subprocess.run(cmd, check=True)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def run_gbench(build_dir, name, benchmark_filter, min_time):
+    """Run one Google-Benchmark binary, normalized to result rows."""
+    binary = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(binary):
+        sys.exit(f"bench_report: {binary} not found (build the benches first)")
+    cmd = [binary, "--benchmark_format=json",
+           f"--benchmark_min_time={min_time}"]
+    if benchmark_filter:
+        cmd.append(f"--benchmark_filter={benchmark_filter}")
+    proc = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    doc = json.loads(proc.stdout)
+    rows = []
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ns = bench.get("real_time")
+        if bench.get("time_unit") == "us":
+            ns = ns * 1e3
+        elif bench.get("time_unit") == "ms":
+            ns = ns * 1e6
+        elif bench.get("time_unit") == "s":
+            ns = ns * 1e9
+        rows.append({
+            "name": f"gbench/{name}/{bench['name']}",
+            "backend": "gbench",
+            "threads": 1,
+            "best_ns_per_query": ns,
+            "items_per_second": bench.get("items_per_second", 0.0),
+        })
+    return rows
+
+
+def cmd_record(args):
+    report = run_dbn_bench(args.build_dir, args.smoke, args.dbn_bench_arg)
+    for name in args.gbench:
+        report["results"].extend(
+            run_gbench(args.build_dir, name, args.gbench_filter,
+                       args.gbench_min_time))
+    report["schema"] = SCHEMA
+    report["generated_by"] = "scripts/bench_report.py"
+    out = args.out
+    if not out:
+        date = datetime.date.today().isoformat()
+        out = f"BENCH_{date}.json"
+    with open(out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"bench_report: wrote {out} ({len(report['results'])} entries)")
+    return 0
+
+
+def load_results(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_report: {path} has schema {doc.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+    return {row["name"]: row for row in doc.get("results", [])}
+
+
+def cmd_compare(args):
+    baseline = load_results(args.baseline)
+    current = load_results(args.report)
+    failures = []
+    print(f"{'entry':48} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name, row in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:48} {'-':>12} "
+                  f"{row['best_ns_per_query']:12.1f} {'new':>7}")
+            continue
+        ratio = row["best_ns_per_query"] / base["best_ns_per_query"]
+        gating = row.get("threads", 1) == 1
+        marker = ""
+        if ratio > args.max_ratio:
+            marker = " REGRESSED" if gating else " (slow, non-gating)"
+            if gating:
+                failures.append((name, ratio))
+        print(f"{name:48} {base['best_ns_per_query']:12.1f} "
+              f"{row['best_ns_per_query']:12.1f} {ratio:6.2f}x{marker}")
+    missing = sorted(set(baseline) - set(current))
+    for name in missing:
+        print(f"{name:48} (entry missing from the new report)")
+    if failures:
+        print(f"bench_report: {len(failures)} single-thread regression(s) "
+              f"beyond {args.max_ratio:.1f}x:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    print("bench_report: no single-thread regressions "
+          f"beyond {args.max_ratio:.1f}x")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run the suite, write a baseline")
+    rec.add_argument("--build-dir", default="build")
+    rec.add_argument("--smoke", action="store_true",
+                     help="use the CI smoke grid of tools/dbn_bench")
+    rec.add_argument("--out", default="",
+                     help="output path (default BENCH_<today>.json)")
+    rec.add_argument("--gbench", action="append", default=[],
+                     help="also run this bench/ binary (repeatable)")
+    rec.add_argument("--gbench-filter", default="",
+                     help="--benchmark_filter for the gbench binaries")
+    rec.add_argument("--gbench-min-time", default="0.05")
+    rec.add_argument("--dbn-bench-arg", action="append", default=[],
+                     help="extra argument forwarded to dbn_bench "
+                          "(repeatable)")
+    rec.set_defaults(func=cmd_record)
+
+    cmp_ = sub.add_parser("compare", help="gate a report against a baseline")
+    cmp_.add_argument("--baseline", required=True)
+    cmp_.add_argument("report")
+    cmp_.add_argument("--max-ratio", type=float, default=2.0,
+                      help="fail when single-thread ns/query exceeds "
+                           "baseline * ratio (default 2.0)")
+    cmp_.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,52 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment, capturing outputs at the
 # repository root (test_output.txt, bench_output.txt).
+#
+# Every step runs even when an earlier one fails; the script prints a
+# per-step summary and exits 1 when any step failed, so callers and CI see
+# exactly one aggregated status.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+declare -a failed_steps=()
+
+# run_step <name> <logfile|-> <command...> — run one step, append its output
+# to the log, record the failure instead of aborting the whole script.
+run_step() {
+  local name=$1 logfile=$2
+  shift 2
+  local status=0
+  echo "== ${name}: $*"
+  if [[ ${logfile} == - ]]; then
+    "$@" || status=$?
+  else
+    "$@" 2>&1 | tee -a "${logfile}" || status=$?
+  fi
+  if ((status != 0)); then
+    echo "== ${name}: FAILED (exit ${status})" >&2
+    failed_steps+=("${name} (exit ${status})")
+  fi
+  return 0
+}
+
+run_step configure - cmake -B build -G Ninja
+run_step build - cmake --build build
+
+: >test_output.txt
+run_step ctest test_output.txt ctest --test-dir build --output-on-failure
+
+: >bench_output.txt
 for b in build/bench/*; do
-  "$b"
-done 2>&1 | tee bench_output.txt
+  [[ -x ${b} ]] || continue
+  run_step "bench/$(basename "${b}")" bench_output.txt "${b}"
+done
+
+run_step bench-report - python3 scripts/bench_report.py record \
+  --build-dir build --smoke --out bench_report.json
+
+if ((${#failed_steps[@]} > 0)); then
+  echo "run_all: ${#failed_steps[@]} step(s) failed:" >&2
+  printf '  %s\n' "${failed_steps[@]}" >&2
+  exit 1
+fi
+echo "run_all: all steps passed"

@@ -1,0 +1,117 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+
+namespace dbn {
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return threads;
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_thread_count(threads);
+  workers_.reserve(count - 1);
+  for (std::size_t i = 1; i < count; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t worker_index) {
+  while (true) {
+    const std::size_t begin =
+        next_.fetch_add(chunk_size_, std::memory_order_relaxed);
+    if (begin >= total_) {
+      return;
+    }
+    const std::size_t end = std::min(begin + chunk_size_, total_);
+    try {
+      (*body_)(begin, end, worker_index);
+    } catch (...) {
+      // Abort the remaining chunks and remember the first failure; the
+      // caller rethrows it once every worker has drained.
+      next_.store(total_, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [this, seen_generation] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) {
+        return;
+      }
+      seen_generation = generation_;
+    }
+    run_chunks(worker_index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t total, std::size_t chunk_size,
+                              const ChunkBody& body) {
+  DBN_REQUIRE(body != nullptr, "parallel_for requires a body");
+  if (total == 0) {
+    return;
+  }
+  chunk_size = std::max<std::size_t>(1, chunk_size);
+  if (workers_.empty() || total <= chunk_size) {
+    // Single-worker pool or a single chunk: run inline, no synchronization.
+    body(0, total, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DBN_REQUIRE(body_ == nullptr, "parallel_for is not reentrant");
+    body_ = &body;
+    total_ = total;
+    chunk_size_ = chunk_size;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunks(0);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+    body_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace dbn

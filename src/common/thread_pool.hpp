@@ -1,0 +1,75 @@
+// A small chunked thread pool for data-parallel batch work (no external
+// dependencies). Workers are started once and reused across calls;
+// parallel_for() hands out index chunks from a shared atomic counter so
+// uneven per-item cost self-balances (work sharing — the chunked cousin of
+// work stealing, which a single shared queue makes unnecessary here).
+//
+// The calling thread participates as worker 0, so a pool constructed with
+// `threads == 1` spawns no OS threads at all and parallel_for() degrades
+// to a plain loop — the sequential and parallel code paths are the same
+// code. Worker indices are stable within a call, which is what lets
+// callers keep per-worker scratch arenas (see core/batch_route_engine.hpp).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbn {
+
+class ThreadPool {
+ public:
+  /// Body of a parallel loop: half-open index range [begin, end) plus the
+  /// executing worker's index in [0, thread_count()).
+  using ChunkBody =
+      std::function<void(std::size_t begin, std::size_t end, std::size_t worker)>;
+
+  /// A pool of `threads` workers total (the caller counts as one);
+  /// 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs `body` over [0, total) in chunks of `chunk_size` (clamped to
+  /// >= 1), dynamically scheduled across all workers. Blocks until every
+  /// chunk is done. The first exception thrown by any chunk aborts the
+  /// remaining chunks and is rethrown on the calling thread. Not
+  /// reentrant: one parallel_for at a time per pool.
+  void parallel_for(std::size_t total, std::size_t chunk_size,
+                    const ChunkBody& body);
+
+  /// Resolves the constructor's `threads` argument the way the pool does.
+  static std::size_t resolve_thread_count(std::size_t threads);
+
+ private:
+  void worker_main(std::size_t worker_index);
+  void run_chunks(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stopping_ = false;
+  std::uint64_t generation_ = 0;   // bumped per parallel_for; wakes workers
+  std::size_t active_workers_ = 0; // helpers still inside the current job
+
+  // Current job (valid while active_workers_ > 0 or the caller is inside
+  // parallel_for).
+  const ChunkBody* body_ = nullptr;
+  std::size_t total_ = 0;
+  std::size_t chunk_size_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dbn

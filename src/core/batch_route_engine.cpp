@@ -1,0 +1,231 @@
+#include "core/batch_route_engine.hpp"
+
+#include <algorithm>
+
+#include "common/contract.hpp"
+#include "common/thread_pool.hpp"
+#include "core/distance.hpp"
+#include "core/routers.hpp"
+#include "core/routing_table.hpp"
+
+namespace dbn {
+
+std::string_view batch_backend_name(BatchBackend backend) {
+  switch (backend) {
+    case BatchBackend::Alg1Directed:
+      return "alg1-directed";
+    case BatchBackend::BidiEngine:
+      return "bidi-engine";
+    case BatchBackend::BidiSuffixTree:
+      return "bidi-suffix-tree";
+    case BatchBackend::CompiledTable:
+      return "compiled-table";
+  }
+  DBN_ASSERT(false, "unknown batch backend");
+  return "";
+}
+
+BatchRouteEngine::BatchRouteEngine(std::uint32_t d, std::size_t k,
+                                   const BatchRouteOptions& options)
+    : d_(d), k_(k), options_(options) {
+  DBN_REQUIRE(d_ >= 1, "batch engine needs radix >= 1");
+  DBN_REQUIRE(k_ >= 1, "batch engine needs k >= 1");
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  scratch_.reserve(pool_->thread_count());
+  for (std::size_t i = 0; i < pool_->thread_count(); ++i) {
+    scratch_.push_back(std::make_unique<Scratch>(k_));
+  }
+  if (options_.backend == BatchBackend::CompiledTable) {
+    // The table answers for the undirected network, matching the other
+    // bi-directional backends (and the RoutingTable's own N cap applies).
+    graph_ = std::make_unique<DeBruijnGraph>(d_, k_, Orientation::Undirected);
+    table_ = std::make_unique<RoutingTable>(*graph_);
+  }
+  if (options_.cache_entries > 0) {
+    const std::size_t shard_count = std::max<std::size_t>(
+        1, std::min(options_.cache_shards, options_.cache_entries));
+    const std::size_t per_shard =
+        (options_.cache_entries + shard_count - 1) / shard_count;
+    shards_.reserve(shard_count);
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      auto shard = std::make_unique<CacheShard>();
+      shard->entries.resize(per_shard);
+      shards_.push_back(std::move(shard));
+    }
+  }
+}
+
+BatchRouteEngine::~BatchRouteEngine() = default;
+
+std::size_t BatchRouteEngine::thread_count() const {
+  return pool_->thread_count();
+}
+
+void BatchRouteEngine::validate(const RouteQuery& query) const {
+  DBN_REQUIRE(query.x.radix() == d_ && query.y.radix() == d_,
+              "query words must use the engine's radix");
+  DBN_REQUIRE(query.x.length() == k_ && query.y.length() == k_,
+              "query words must have the engine's length k");
+}
+
+std::uint64_t BatchRouteEngine::pair_hash(const Word& x, const Word& y) {
+  const std::size_t hx = std::hash<Word>{}(x);
+  const std::size_t hy = std::hash<Word>{}(y);
+  // Asymmetric mix so (X, Y) and (Y, X) land in different slots.
+  std::uint64_t h = static_cast<std::uint64_t>(hx) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(hy) + 0xbf58476d1ce4e5b9ull + (h << 6) +
+       (h >> 2);
+  return h;
+}
+
+bool BatchRouteEngine::cache_lookup(std::uint64_t hash, const Word& x,
+                                    const Word& y, RoutingPath& out) {
+  cache_lookups_.fetch_add(1, std::memory_order_relaxed);
+  CacheShard& shard = *shards_[hash % shards_.size()];
+  const std::size_t slot = (hash / shards_.size()) % shard.entries.size();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const CacheEntry& entry = shard.entries[slot];
+  if (entry.filled && entry.hash == hash && entry.x == x && entry.y == y) {
+    out = entry.path;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void BatchRouteEngine::cache_store(std::uint64_t hash, const Word& x,
+                                   const Word& y, const RoutingPath& path) {
+  CacheShard& shard = *shards_[hash % shards_.size()];
+  const std::size_t slot = (hash / shards_.size()) % shard.entries.size();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  CacheEntry& entry = shard.entries[slot];
+  entry.filled = true;
+  entry.hash = hash;
+  entry.x = x;
+  entry.y = y;
+  entry.path = path;
+}
+
+void BatchRouteEngine::compute_route(const RouteQuery& query, Scratch& scratch,
+                                     RoutingPath& out) const {
+  switch (options_.backend) {
+    case BatchBackend::Alg1Directed:
+      out = route_unidirectional(query.x, query.y);
+      return;
+    case BatchBackend::BidiEngine:
+      scratch.engine.route_into(query.x, query.y, options_.wildcard_mode, out);
+      return;
+    case BatchBackend::BidiSuffixTree:
+      out = route_bidirectional_suffix_tree(query.x, query.y,
+                                            options_.wildcard_mode);
+      return;
+    case BatchBackend::CompiledTable: {
+      out = RoutingPath{};
+      std::uint64_t at = query.x.rank();
+      const std::uint64_t dst = query.y.rank();
+      const std::size_t bound = 2 * k_ + 2;  // > diameter: loop guard
+      while (at != dst) {
+        DBN_ASSERT(out.length() <= bound, "table walk failed to converge");
+        const Hop hop = table_->next_hop(at, dst);
+        out.push(hop);
+        at = hop.type == ShiftType::Left
+                 ? graph_->left_shift_rank(at, hop.digit)
+                 : graph_->right_shift_rank(at, hop.digit);
+      }
+      return;
+    }
+  }
+  DBN_ASSERT(false, "unknown batch backend");
+}
+
+int BatchRouteEngine::compute_distance(const RouteQuery& query,
+                                       Scratch& scratch) const {
+  switch (options_.backend) {
+    case BatchBackend::Alg1Directed:
+      return directed_distance(query.x, query.y);
+    case BatchBackend::BidiEngine:
+      return scratch.engine.distance(query.x, query.y);
+    case BatchBackend::BidiSuffixTree:
+      return static_cast<int>(
+          route_bidirectional_suffix_tree(query.x, query.y).length());
+    case BatchBackend::CompiledTable:
+      return table_->walk_length(query.x.rank(), query.y.rank());
+  }
+  DBN_ASSERT(false, "unknown batch backend");
+  return -1;
+}
+
+void BatchRouteEngine::route_batch_into(const std::vector<RouteQuery>& queries,
+                                        std::vector<RoutingPath>& out) {
+  out.resize(queries.size());
+  cache_lookups_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  pool_->parallel_for(
+      queries.size(), options_.chunk,
+      [this, &queries, &out](std::size_t begin, std::size_t end,
+                             std::size_t worker) {
+        Scratch& scratch = *scratch_[worker];
+        for (std::size_t i = begin; i < end; ++i) {
+          const RouteQuery& query = queries[i];
+          validate(query);
+          if (!shards_.empty()) {
+            const std::uint64_t hash = pair_hash(query.x, query.y);
+            if (cache_lookup(hash, query.x, query.y, out[i])) {
+              continue;
+            }
+            compute_route(query, scratch, out[i]);
+            cache_store(hash, query.x, query.y, out[i]);
+          } else {
+            compute_route(query, scratch, out[i]);
+          }
+        }
+      });
+  stats_ = BatchStats{queries.size(),
+                      cache_lookups_.load(std::memory_order_relaxed),
+                      cache_hits_.load(std::memory_order_relaxed),
+                      pool_->thread_count()};
+}
+
+std::vector<RoutingPath> BatchRouteEngine::route_batch(
+    const std::vector<RouteQuery>& queries) {
+  std::vector<RoutingPath> out;
+  route_batch_into(queries, out);
+  return out;
+}
+
+std::vector<int> BatchRouteEngine::distance_batch(
+    const std::vector<RouteQuery>& queries) {
+  std::vector<int> out(queries.size(), -1);
+  pool_->parallel_for(
+      queries.size(), options_.chunk,
+      [this, &queries, &out](std::size_t begin, std::size_t end,
+                             std::size_t worker) {
+        Scratch& scratch = *scratch_[worker];
+        for (std::size_t i = begin; i < end; ++i) {
+          validate(queries[i]);
+          out[i] = compute_distance(queries[i], scratch);
+        }
+      });
+  stats_ = BatchStats{queries.size(), 0, 0, pool_->thread_count()};
+  return out;
+}
+
+RoutingPath BatchRouteEngine::route_one(const Word& x, const Word& y) {
+  const RouteQuery query{x, y};
+  validate(query);
+  RoutingPath out;
+  Scratch& scratch = *scratch_[0];
+  if (!shards_.empty()) {
+    const std::uint64_t hash = pair_hash(x, y);
+    if (cache_lookup(hash, x, y, out)) {
+      return out;
+    }
+    compute_route(query, scratch, out);
+    cache_store(hash, x, y, out);
+    return out;
+  }
+  compute_route(query, scratch, out);
+  return out;
+}
+
+}  // namespace dbn

@@ -1,0 +1,168 @@
+// Parallel batch routing over one network DG(d,k) — the paper's O(k)
+// per-query cost (Algorithms 1 and 4) turned into a throughput engine.
+//
+// The paper's closing argument is that de Bruijn routing is cheap enough
+// to compute per message instead of per table; the realistic regime for
+// that claim is bulk traffic (all-to-all and many-to-many workloads, as in
+// the distance-layer and all-to-all analyses of PAPERS.md). This engine
+// routes large query batches with:
+//
+//   - a chunked thread pool (common/thread_pool.hpp) — queries are
+//     independent, so the batch splits into dynamically scheduled chunks;
+//   - per-worker scratch arenas — each worker owns a
+//     BidirectionalRouteEngine (reused Morris–Pratt failure rows and
+//     Algorithm 2/3 matching buffers) and writes paths in place, so the
+//     hot path performs no per-query allocation beyond growing the
+//     caller-visible output paths;
+//   - pluggable backends — Algorithm 1 (directed), Algorithm 2/3 via the
+//     allocation-free engine, Algorithm 4 (suffix tree), or a compiled
+//     next-hop table walk (the O(N^2)-state alternative the paper
+//     obviates, kept for measurement);
+//   - an optional sharded memo cache keyed on (X, Y) for workloads with
+//     repeated pairs (hot flows), direct-mapped within each shard so a
+//     lookup is one hash, one lock, one compare.
+//
+// Results are bit-for-bit deterministic in the batch: out[i] depends only
+// on queries[i] and the backend, never on the thread count, chunk size or
+// cache state (every backend is a deterministic function, and the cache
+// only ever returns what that function produced earlier).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/path.hpp"
+#include "core/path_builder.hpp"
+#include "core/route_engine.hpp"
+#include "debruijn/graph.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+class ThreadPool;
+class RoutingTable;
+
+/// Which routing computation answers each query of the batch.
+enum class BatchBackend {
+  Alg1Directed,     // Algorithm 1: directed DG(d,k), left shifts only
+  BidiEngine,       // Algorithms 2/3 via the allocation-free route engine
+  BidiSuffixTree,   // Algorithm 4: generalized suffix tree, O(k)
+  CompiledTable,    // next-hop table walk (requires materializable d^k)
+};
+
+std::string_view batch_backend_name(BatchBackend backend);
+
+struct BatchRouteOptions {
+  BatchBackend backend = BatchBackend::BidiEngine;
+  /// Worker threads (the caller counts as one); 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Queries per scheduling quantum of the pool.
+  std::size_t chunk = 256;
+  /// Total memo-cache entries across all shards; 0 disables the cache.
+  std::size_t cache_entries = 0;
+  /// Shard count for the memo cache (rounded up to at least 1). More
+  /// shards = less lock contention; entries are split evenly.
+  std::size_t cache_shards = 16;
+  /// How the bi-directional backends emit the arbitrary digits.
+  WildcardMode wildcard_mode = WildcardMode::Concrete;
+};
+
+/// One source/destination pair; both words must be vertices of DG(d,k).
+struct RouteQuery {
+  Word x;
+  Word y;
+};
+
+/// Counters from the last route_batch/distance_batch call.
+struct BatchStats {
+  std::size_t queries = 0;
+  std::size_t cache_lookups = 0;
+  std::size_t cache_hits = 0;
+  std::size_t threads = 0;
+};
+
+class BatchRouteEngine {
+ public:
+  /// An engine for DG(d,k). CompiledTable additionally requires d^k small
+  /// enough to materialize (RoutingTable's own guard applies).
+  BatchRouteEngine(std::uint32_t d, std::size_t k,
+                   const BatchRouteOptions& options = {});
+  ~BatchRouteEngine();
+
+  BatchRouteEngine(const BatchRouteEngine&) = delete;
+  BatchRouteEngine& operator=(const BatchRouteEngine&) = delete;
+
+  /// Routes queries[i] into out[i] (resized to match). Deterministic:
+  /// independent of thread count and cache state.
+  void route_batch_into(const std::vector<RouteQuery>& queries,
+                        std::vector<RoutingPath>& out);
+
+  /// Convenience wrapper over route_batch_into.
+  std::vector<RoutingPath> route_batch(const std::vector<RouteQuery>& queries);
+
+  /// Distances only (no path construction, no cache).
+  std::vector<int> distance_batch(const std::vector<RouteQuery>& queries);
+
+  /// Routes one query through the batch machinery (worker 0's scratch and
+  /// the cache) — the single-message view of the same engine.
+  RoutingPath route_one(const Word& x, const Word& y);
+
+  std::uint32_t radix() const { return d_; }
+  std::size_t k() const { return k_; }
+  BatchBackend backend() const { return options_.backend; }
+  std::size_t thread_count() const;
+  bool cache_enabled() const { return !shards_.empty(); }
+
+  const BatchStats& last_stats() const { return stats_; }
+
+ private:
+  // One worker's reusable state: the allocation-free bidirectional engine
+  // (Morris–Pratt failure rows + matching buffers) and a path scratch for
+  // cache insertion.
+  struct Scratch {
+    explicit Scratch(std::size_t max_k) : engine(max_k) {}
+    BidirectionalRouteEngine engine;
+  };
+
+  // Direct-mapped cache entry; `filled` distinguishes the empty slot from
+  // a real (X, Y) -> path mapping.
+  struct CacheEntry {
+    bool filled = false;
+    std::uint64_t hash = 0;
+    Word x{1, {0}};
+    Word y{1, {0}};
+    RoutingPath path;
+  };
+  struct CacheShard {
+    std::mutex mutex;
+    std::vector<CacheEntry> entries;
+  };
+
+  void validate(const RouteQuery& query) const;
+  void compute_route(const RouteQuery& query, Scratch& scratch,
+                     RoutingPath& out) const;
+  int compute_distance(const RouteQuery& query, Scratch& scratch) const;
+  static std::uint64_t pair_hash(const Word& x, const Word& y);
+  bool cache_lookup(std::uint64_t hash, const Word& x, const Word& y,
+                    RoutingPath& out);
+  void cache_store(std::uint64_t hash, const Word& x, const Word& y,
+                   const RoutingPath& path);
+
+  std::uint32_t d_;
+  std::size_t k_;
+  BatchRouteOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  std::unique_ptr<DeBruijnGraph> graph_;   // CompiledTable backend only
+  std::unique_ptr<RoutingTable> table_;    // CompiledTable backend only
+  std::vector<std::unique_ptr<CacheShard>> shards_;
+  std::atomic<std::size_t> cache_lookups_{0};
+  std::atomic<std::size_t> cache_hits_{0};
+  BatchStats stats_;
+};
+
+}  // namespace dbn

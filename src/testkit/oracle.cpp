@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/contract.hpp"
+#include "core/batch_route_engine.hpp"
 #include "core/bfs_router.hpp"
 #include "core/distance.hpp"
 #include "core/hop_by_hop.hpp"
@@ -93,6 +94,37 @@ class RouteEngineOracle final : public RouteOracle {
 
  private:
   BidirectionalRouteEngine engine_;
+};
+
+// The parallel batch engine fed one-query batches: every conformance pair
+// also crosses the thread pool, the per-worker scratch arenas and the
+// sharded memo cache (deliberately tiny so slots are recycled).
+class BatchEngineOracle final : public RouteOracle {
+ public:
+  BatchEngineOracle(std::uint32_t d, std::size_t k, BatchBackend backend,
+                    std::size_t threads)
+      : name_(backend == BatchBackend::Alg1Directed ? "batch-alg1"
+                                                    : "batch-engine"),
+        engine_(d, k,
+                BatchRouteOptions{.backend = backend,
+                                  .threads = threads,
+                                  .chunk = 1,
+                                  .cache_entries = 64,
+                                  .cache_shards = 4}) {}
+  std::string_view name() const override { return name_; }
+  int distance(const Word& x, const Word& y) override {
+    return engine_.distance_batch({RouteQuery{x, y}})[0];
+  }
+  std::optional<RoutingPath> route(const Word& x, const Word& y) override {
+    return engine_.route_one(x, y);
+  }
+  bool emits_three_block() const override {
+    return engine_.backend() == BatchBackend::BidiEngine;
+  }
+
+ private:
+  std::string_view name_;
+  BatchRouteEngine engine_;
 };
 
 class GreedyOracle final : public RouteOracle {
@@ -238,11 +270,19 @@ OracleSet OracleSet::debruijn(std::uint32_t d, std::size_t k,
   set.graph_ = std::make_unique<DeBruijnGraph>(d, k, orientation);
   if (orientation == Orientation::Directed) {
     set.oracles_.push_back(std::make_unique<Alg1Oracle>());
+    if (options.include_batch) {
+      set.oracles_.push_back(std::make_unique<BatchEngineOracle>(
+          d, k, BatchBackend::Alg1Directed, options.batch_threads));
+    }
   } else {
     set.oracles_.push_back(std::make_unique<Alg2MpOracle>());
     set.oracles_.push_back(std::make_unique<Alg4SuffixTreeOracle>());
     set.oracles_.push_back(std::make_unique<Alg4SuffixAutomatonOracle>());
     set.oracles_.push_back(std::make_unique<RouteEngineOracle>(k));
+    if (options.include_batch) {
+      set.oracles_.push_back(std::make_unique<BatchEngineOracle>(
+          d, k, BatchBackend::BidiEngine, options.batch_threads));
+    }
   }
   if (options.include_greedy) {
     set.oracles_.push_back(std::make_unique<GreedyOracle>(*set.graph_));

@@ -60,6 +60,11 @@ struct OracleOptions {
   std::uint64_t max_table_vertices = 1u << 10;
   /// Greedy hop-by-hop walks (O(d k) per hop) — cheap, on by default.
   bool include_greedy = true;
+  /// BatchRouteEngine oracles (single-query batches through the parallel
+  /// engine, pool + cache included), so dbn_fuzz exercises the batch path.
+  bool include_batch = true;
+  /// Worker threads for the batch oracles (>= 2 keeps the pool honest).
+  std::size_t batch_threads = 2;
 };
 
 /// The network a set routes over; fixes the legal-move rule.

@@ -2,12 +2,17 @@
 // library (src/testkit).
 //
 //   dbn_fuzz [--seed N] [--iters N] [--time-budget SEC] [--max-bfs N]
-//            [--no-shrink] [--max-failures N] [--quiet]
+//            [--no-shrink] [--max-failures N] [--failure-dir DIR] [--quiet]
 //   dbn_fuzz --replay <case-file | corpus-dir | inline-case>
 //
 // Flags accept both "--flag value" and "--flag=value". An inline replay
 // case uses ':' separators, e.g. --replay undirected:2:4:0110:1001 (the
 // corpus file format with spaces replaced).
+//
+// --failure-dir writes every shrunk disagreement as a replayable
+// failure_<n>.case corpus file (with the conformance report and the
+// paste-ready regression test as comments) so CI can upload the directory
+// as an artifact.
 //
 // Exit status: 0 when every oracle agrees on every pair, 1 on any
 // disagreement (the shrunk reproducer, its corpus line and a paste-ready
@@ -15,8 +20,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,13 +38,15 @@ void usage(std::ostream& out) {
   out << "usage:\n"
          "  dbn_fuzz [--seed N] [--iters N] [--time-budget SEC] "
          "[--max-bfs N]\n"
-         "           [--no-shrink] [--max-failures N] [--quiet]\n"
+         "           [--no-shrink] [--max-failures N] [--failure-dir DIR] "
+         "[--quiet]\n"
          "  dbn_fuzz --replay <case-file | corpus-dir | inline-case>\n"
          "inline cases use ':' separators, e.g. undirected:2:4:0110:1001\n";
 }
 
 struct ParsedArgs {
   std::vector<std::string> replays;
+  std::string failure_dir;
   bool quiet = false;
   bool ok = true;
   testkit::FuzzOptions fuzz;
@@ -117,6 +126,14 @@ ParsedArgs parse_args(int argc, char** argv) {
       } else {
         parsed.replays.push_back(*text);
       }
+    } else if (arg == "--failure-dir") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_fuzz: --failure-dir needs a directory\n";
+        parsed.ok = false;
+      } else {
+        parsed.failure_dir = *text;
+      }
     } else if (arg == "--no-shrink") {
       parsed.fuzz.shrink = false;
     } else if (arg == "--quiet") {
@@ -180,6 +197,41 @@ int run_replays(const ParsedArgs& parsed) {
   return 0;
 }
 
+// Writes each shrunk disagreement as a replayable *.case file; returns the
+// number written (0 also when the directory cannot be created).
+std::size_t write_failure_cases(const std::string& dir,
+                                const testkit::FuzzReport& report) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "dbn_fuzz: cannot create --failure-dir " << dir << ": "
+              << ec.message() << "\n";
+    return 0;
+  }
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const testkit::FuzzFailure& failure = report.failures[i];
+    const fs::path path =
+        fs::path(dir) / ("failure_" + std::to_string(i) + ".case");
+    std::ofstream file(path);
+    if (!file) {
+      std::cerr << "dbn_fuzz: cannot write " << path.string() << "\n";
+      continue;
+    }
+    file << "# shrunk reproducer " << i << " (replay with: dbn_fuzz --replay "
+         << path.filename().string() << ")\n"
+         << "# original: " << failure.original.to_line() << "\n";
+    std::istringstream annotate(failure.report + "\n" + failure.snippet);
+    for (std::string line; std::getline(annotate, line);) {
+      file << "# " << line << "\n";
+    }
+    file << failure.shrunk.to_line() << "\n";
+    ++written;
+  }
+  return written;
+}
+
 int run_fuzz_loop(ParsedArgs& parsed) {
   if (!parsed.quiet) {
     parsed.fuzz.log = &std::cout;
@@ -200,6 +252,12 @@ int run_fuzz_loop(ParsedArgs& parsed) {
       std::cerr << "  " << failure.shrunk.to_line() << "\n"
                 << failure.report << "\n"
                 << failure.snippet << "\n";
+    }
+    if (!parsed.failure_dir.empty()) {
+      const std::size_t written =
+          write_failure_cases(parsed.failure_dir, report);
+      std::cerr << "dbn_fuzz: wrote " << written << " case file(s) to "
+                << parsed.failure_dir << "\n";
     }
     return 1;
   }
