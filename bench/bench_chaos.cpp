@@ -1,0 +1,58 @@
+// Chaos-engine smoke benchmark: one fixed mid-size failure scenario
+// (DN(2,6), mixed crash/recover/flap schedule, backed-off reliable
+// transfer) through run_scenario's full pipeline — simulate, drive the
+// retransmission clock, check every invariant. This is the unit of work
+// the dbn_chaos fuzzer repeats per iteration, so the recorded ns/op bounds
+// what a CI fuzz budget buys. Folded into the dbn-bench/1 report by
+// scripts/bench_report.py (docs/benchmarking.md).
+#include <benchmark/benchmark.h>
+
+#include "testkit/chaos.hpp"
+
+namespace {
+
+using namespace dbn;
+using namespace dbn::testkit;
+
+ChaosScenario smoke_scenario() {
+  ChaosScenario s;
+  s.d = 2;
+  s.k = 6;  // 64 sites
+  s.seed = 9;
+  s.reliable.timeout = 8.0;
+  s.reliable.max_attempts = 4;
+  s.reliable.backoff = 2.0;
+  s.reliable.jitter = 0.1;
+  const std::uint64_t n = s.vertex_count();
+  Rng rng(17);
+  for (int i = 0; i < 24; ++i) {
+    s.transfers.push_back({rng.below(n), rng.below(n)});
+  }
+  for (int i = 0; i < 4; ++i) {
+    s.schedule.site_flap(rng.below(n), 1.0 + i, 3.0, 3.0, 2);
+  }
+  s.schedule.link_crash(2.0, rng.below(n), rng.below(n));
+  s.schedule.site_crash(5.0, rng.below(n));
+  return s;
+}
+
+void BM_ChaosSmoke(benchmark::State& state) {
+  const ChaosScenario scenario = smoke_scenario();
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    const ChaosRunResult result = run_scenario(scenario);
+    violations += result.violations.size();
+    benchmark::DoNotOptimize(result.final_clock);
+  }
+  if (violations != 0) {
+    state.SkipWithError("chaos invariant violation in the smoke scenario");
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(scenario.transfers.size()));
+}
+BENCHMARK(BM_ChaosSmoke);
+
+}  // namespace
+
+BENCHMARK_MAIN();

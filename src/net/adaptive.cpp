@@ -21,10 +21,14 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
   DBN_REQUIRE(graph.orientation() == Orientation::Undirected,
               "adaptive routing uses the bi-directional distance function");
 
-  const int ttl = config.ttl > 0 ? config.ttl
-                                 : 4 * static_cast<int>(graph.k());
+  // 4k covers greedy walks with detours for k >= 2; at k = 1 it leaves a
+  // 4-hop budget that real fault clusters exhaust, so floor it.
+  const int ttl = config.ttl > 0
+                      ? config.ttl
+                      : std::max(4 * static_cast<int>(graph.k()), 8);
   AdaptiveResult result;
   Word at = x;
+  std::uint64_t previous = graph.vertex_count();  // sentinel: no previous
   while (!(at == y)) {
     if (result.hops >= ttl) {
       return result;  // undelivered
@@ -32,6 +36,8 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
     const int here = undirected_distance(at, y);
     std::vector<Word> improving;
     std::vector<Word> sideways;
+    std::vector<Word> backward;  // live neighbors at minimal dist > here
+    int backward_best = 0;
     for (const std::uint64_t r : graph.neighbors(at.rank())) {
       if (failed[r]) {
         continue;
@@ -42,17 +48,46 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
         improving.push_back(next);
       } else if (dist == here) {
         sideways.push_back(next);
+      } else if (config.deflect) {
+        if (backward.empty() || dist < backward_best) {
+          backward_best = dist;
+          backward.clear();
+        }
+        if (dist == backward_best) {
+          backward.push_back(next);
+        }
       }
     }
     const bool take_sideways =
         improving.empty() ||
         (!sideways.empty() && rng.chance(config.jitter));
-    const std::vector<Word>& pool = take_sideways ? sideways : improving;
-    if (pool.empty()) {
-      return result;  // stuck: every useful neighbor is dead
+    const std::vector<Word>* pool = take_sideways ? &sideways : &improving;
+    bool deflected = false;
+    if (pool->empty()) {
+      if (backward.empty()) {
+        return result;  // stuck: every live neighbor is dead or none exist
+      }
+      // Deflect: retreat along the best distance layer, but never straight
+      // back to where we came from when any other escape exists.
+      if (backward.size() > 1) {
+        std::vector<Word> away;
+        for (const Word& w : backward) {
+          if (w.rank() != previous) {
+            away.push_back(w);
+          }
+        }
+        if (!away.empty()) {
+          backward = std::move(away);
+        }
+      }
+      pool = &backward;
+      deflected = true;
     }
-    at = pool[rng.below(pool.size())];
+    previous = at.rank();
+    at = (*pool)[rng.below(pool->size())];
     ++result.hops;
+    result.deflections += deflected;
+    result.sideways_moves += !deflected && pool == &sideways;
   }
   result.delivered = true;
   return result;

@@ -4,9 +4,12 @@
 // failed site — global state a real network rarely has. Here each site
 // knows only which of its own neighbors are dead, and greedily forwards
 // using the O(k) distance function: strictly improving live neighbors
-// first, sideways moves (equal distance) as an escape, a TTL against
-// livelock. Delivery is no longer guaranteed, which is exactly what the
-// S2-companion benchmark quantifies.
+// first, sideways moves (equal distance) as an escape, and — when a fault
+// cluster kills every non-worsening neighbor — a deflection fallback that
+// retreats through the live neighbor minimizing D(·,Y), the distance-layer
+// structure Fàbrega/Martí-Farré/Muñoz exploit for deflection routing in
+// DG(d,k). A TTL guards against livelock. Delivery is still not
+// guaranteed, which is exactly what the S2-companion benchmark quantifies.
 #pragma once
 
 #include <vector>
@@ -20,13 +23,20 @@ namespace dbn::net {
 struct AdaptiveResult {
   bool delivered = false;
   int hops = 0;
+  int sideways_moves = 0;
+  int deflections = 0;  // backward moves forced by dead neighborhoods
 };
 
 struct AdaptiveConfig {
-  int ttl = 0;  // 0 = default of 4k hops
+  int ttl = 0;  // 0 = default of max(4k, 8) hops (the floor keeps k = 1
+                // networks from collapsing to a 4-hop budget)
   /// Probability of taking a sideways (equal-distance) move even when an
   /// improving neighbor exists; small values help escape fault clusters.
   double jitter = 0.0;
+  /// When no live neighbor improves or holds D(·,Y), fall back to the live
+  /// neighbor(s) with the smallest distance increase instead of giving up;
+  /// avoids bouncing straight back when any alternative exists.
+  bool deflect = true;
 };
 
 /// Walks from x to y over live sites only. `failed[r]` marks dead sites;

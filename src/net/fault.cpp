@@ -8,6 +8,68 @@
 
 namespace dbn::net {
 
+void FaultSchedule::add(const FaultEvent& event) {
+  DBN_REQUIRE(event.time >= 0.0, "fault events cannot predate the run");
+  if (!events_.empty() && sorted_ && event.time < events_.back().time) {
+    sorted_ = false;
+  }
+  events_.push_back(event);
+}
+
+void FaultSchedule::site_crash(double time, std::uint64_t rank) {
+  add(FaultEvent{time, FaultEventKind::SiteCrash, rank, 0});
+}
+
+void FaultSchedule::site_recover(double time, std::uint64_t rank) {
+  add(FaultEvent{time, FaultEventKind::SiteRecover, rank, 0});
+}
+
+void FaultSchedule::link_crash(double time, std::uint64_t from,
+                               std::uint64_t to) {
+  add(FaultEvent{time, FaultEventKind::LinkCrash, from, to});
+}
+
+void FaultSchedule::link_recover(double time, std::uint64_t from,
+                                 std::uint64_t to) {
+  add(FaultEvent{time, FaultEventKind::LinkRecover, from, to});
+}
+
+void FaultSchedule::site_flap(std::uint64_t rank, double start, double down_for,
+                              double up_for, int cycles) {
+  DBN_REQUIRE(down_for > 0.0 && up_for >= 0.0 && cycles >= 1,
+              "flap needs a positive down window and at least one cycle");
+  double t = start;
+  for (int c = 0; c < cycles; ++c) {
+    site_crash(t, rank);
+    site_recover(t + down_for, rank);
+    t += down_for + up_for;
+  }
+}
+
+void FaultSchedule::link_flap(std::uint64_t from, std::uint64_t to,
+                              double start, double down_for, double up_for,
+                              int cycles) {
+  DBN_REQUIRE(down_for > 0.0 && up_for >= 0.0 && cycles >= 1,
+              "flap needs a positive down window and at least one cycle");
+  double t = start;
+  for (int c = 0; c < cycles; ++c) {
+    link_crash(t, from, to);
+    link_recover(t + down_for, from, to);
+    t += down_for + up_for;
+  }
+}
+
+const std::vector<FaultEvent>& FaultSchedule::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FaultEvent& lhs, const FaultEvent& rhs) {
+                       return lhs.time < rhs.time;
+                     });
+    sorted_ = true;
+  }
+  return events_;
+}
+
 FaultAwareRouter::FaultAwareRouter(const DeBruijnGraph& graph,
                                    std::vector<bool> failed)
     : graph_(graph), failed_(std::move(failed)) {

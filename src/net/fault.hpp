@@ -17,6 +17,62 @@
 
 namespace dbn::net {
 
+/// One entry of a FaultSchedule.
+enum class FaultEventKind : std::uint8_t {
+  SiteCrash,
+  SiteRecover,
+  LinkCrash,    // the directed link a -> b
+  LinkRecover,
+};
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultEventKind kind = FaultEventKind::SiteCrash;
+  std::uint64_t a = 0;  // site rank, or link source
+  std::uint64_t b = 0;  // link target (unused for site events)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A time-stamped crash/recover script for sites and directed links,
+/// applied by the Simulator as its clock advances (replacing the static
+/// t=0-only fault model). Events at time t take effect before any message
+/// arrival at time t: a site crashing at the instant a message lands wins.
+/// Recovering something that is up (or crashing something already down) is
+/// a no-op, so overlapping flap windows compose safely.
+class FaultSchedule {
+ public:
+  void site_crash(double time, std::uint64_t rank);
+  void site_recover(double time, std::uint64_t rank);
+  void link_crash(double time, std::uint64_t from, std::uint64_t to);
+  void link_recover(double time, std::uint64_t from, std::uint64_t to);
+
+  /// A flapping site: starting at `start`, `cycles` repetitions of
+  /// (down for `down_for`, then up for `up_for`).
+  void site_flap(std::uint64_t rank, double start, double down_for,
+                 double up_for, int cycles);
+  /// Same for a directed link.
+  void link_flap(std::uint64_t from, std::uint64_t to, double start,
+                 double down_for, double up_for, int cycles);
+
+  void add(const FaultEvent& event);
+
+  /// Events sorted by time; ties keep insertion order (stable).
+  const std::vector<FaultEvent>& events() const;
+
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); sorted_ = true; }
+
+  friend bool operator==(const FaultSchedule& lhs, const FaultSchedule& rhs) {
+    return lhs.events() == rhs.events();
+  }
+
+ private:
+  mutable std::vector<FaultEvent> events_;
+  mutable bool sorted_ = true;
+};
+
 /// Routes around a fixed set of failed sites with BFS on the surviving
 /// subgraph. Exact (finds a path iff one exists) but O(N d) per query —
 /// this is the recovery path, not the common case.

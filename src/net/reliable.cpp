@@ -1,8 +1,10 @@
 #include "net/reliable.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/contract.hpp"
+#include "common/rng.hpp"
 
 namespace dbn::net {
 
@@ -34,56 +36,104 @@ ReliableReport run_reliable(Simulator& sim,
                             const ReliableConfig& config) {
   DBN_REQUIRE(config.timeout > 0.0 && config.max_attempts >= 1,
               "reliable transfer needs a positive timeout and attempt budget");
+  DBN_REQUIRE(config.backoff >= 1.0, "backoff multiplier must be >= 1");
+  DBN_REQUIRE(config.max_timeout >= 0.0 && config.jitter >= 0.0,
+              "window cap and jitter must be non-negative");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   const std::uint32_t d = sim.config().radix;
   const std::size_t k = sim.config().k;
+  const std::size_t n = transfers.size();
 
   ReliableReport report;
-  report.transfers = transfers.size();
-  std::vector<bool> done(transfers.size(), false);
-  std::vector<int> attempts(transfers.size(), 0);
+  report.transfers = n;
+  if (config.record_attempts) {
+    report.traces.resize(n);
+  }
+  std::vector<bool> done(n, false);
+  std::vector<int> attempts(n, 0);
+  // Per-transfer retransmission clock: when the next attempt fires.
+  std::vector<double> deadline(n, sim.now());
+  // Per-transfer jitter streams: forked once, drawn per attempt, so the
+  // sequence a transfer sees never depends on other transfers.
+  const Rng jitter_base(config.jitter_seed);
 
   sim.set_delivery_hook([&](const Message& message, double time) {
     if (message.payload.size() != 8) {
       return;  // not one of ours
     }
     const std::uint64_t id = decode_transfer_id(message.payload);
-    if (id < done.size() && !done[id]) {
+    if (id >= n) {
+      return;
+    }
+    if (!done[id]) {
       done[id] = true;
       ++report.completed;
       report.completion_time = std::max(report.completion_time, time);
+      if (config.record_attempts) {
+        report.traces[id].completed = true;
+        report.traces[id].completed_at = time;
+      }
+    } else {
+      ++report.duplicate_deliveries;  // deduplicated late copy
+    }
+    if (config.on_delivery) {
+      config.on_delivery(message, time);
     }
   });
 
-  double window_start = sim.now();
-  bool progress = true;
-  while (progress) {
-    progress = false;
-    for (std::size_t id = 0; id < transfers.size(); ++id) {
-      if (done[id] || attempts[id] >= config.max_attempts) {
+  std::vector<Rng> jitter(n, Rng(0));
+  for (std::size_t id = 0; id < n; ++id) {
+    jitter[id] = jitter_base.fork(id);
+  }
+
+  while (true) {
+    // Earliest retransmission clock among transfers that can still act.
+    double next = kInf;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (!done[id] && attempts[id] < config.max_attempts) {
+        next = std::min(next, deadline[id]);
+      }
+    }
+    if (next == kInf) {
+      break;
+    }
+    sim.run(next);  // deliveries up to `next` can still mark transfers done
+    for (std::size_t id = 0; id < n; ++id) {
+      if (done[id] || attempts[id] >= config.max_attempts ||
+          deadline[id] > next) {
         continue;
+      }
+      const int attempt = attempts[id];
+      if (attempt > 0) {
+        ++report.retransmissions;
+      }
+      double window = config.timeout;
+      for (int j = 0; j < attempt; ++j) {
+        window *= config.backoff;
+      }
+      if (config.max_timeout > 0.0) {
+        window = std::min(window, config.max_timeout);
+      }
+      if (config.jitter > 0.0) {
+        window *= 1.0 + config.jitter * jitter[id].uniform01();
       }
       const Word src = Word::from_rank(d, k, transfers[id].source);
       const Word dst = Word::from_rank(d, k, transfers[id].destination);
-      if (attempts[id] > 0) {
-        ++report.retransmissions;
+      sim.inject(next, Message(ControlCode::Data, src, dst,
+                               route(src, dst, attempt),
+                               encode_transfer_id(id)));
+      if (config.record_attempts) {
+        report.traces[id].attempts.push_back(
+            AttemptRecord{attempt, next, window});
       }
-      sim.inject(window_start,
-                 Message(ControlCode::Data, src, dst,
-                         route(src, dst, attempts[id]),
-                         encode_transfer_id(id)));
+      deadline[id] = next + window;
       ++attempts[id];
-      progress = true;
     }
-    if (!progress) {
-      break;
-    }
-    window_start += config.timeout;
-    sim.run(window_start);
   }
   sim.run();  // drain whatever is still in flight
   sim.set_delivery_hook(nullptr);
 
-  for (std::size_t id = 0; id < transfers.size(); ++id) {
+  for (std::size_t id = 0; id < n; ++id) {
     if (!done[id]) {
       ++report.abandoned;
     }

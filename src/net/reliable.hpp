@@ -3,11 +3,15 @@
 // over the paper's raw forwarding (which silently drops on queue overflow
 // and on failed sites).
 //
-// Each transfer is tagged with an id carried in the payload; the driver
-// injects a batch, advances the simulator one timeout window at a time,
-// and re-injects whatever was not delivered, re-routing every attempt
-// (fresh wildcard choices give retransmissions an independent chance to
-// miss transient congestion).
+// Each transfer is tagged with an id carried in the payload. The driver
+// injects a batch and retransmits per transfer on an exponential-backoff
+// clock (base `timeout`, multiplied by `backoff` per retry, optionally
+// capped and jittered by a seeded RNG so synchronized bursts decorrelate).
+// Every attempt is re-routed (fresh wildcard choices and, with a
+// fault-aware AttemptRouter, fresh knowledge of the fault state). A late
+// original plus a retransmission can both land: the receiver-side
+// deduplication accepts the first copy and counts the rest as
+// duplicate_deliveries.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +26,40 @@ namespace dbn::net {
 struct Transfer {
   std::uint64_t source = 0;
   std::uint64_t destination = 0;
+
+  friend bool operator==(const Transfer&, const Transfer&) = default;
 };
 
 struct ReliableConfig {
-  double timeout = 64.0;    // window before a retransmission
+  double timeout = 64.0;    // base window before the first retransmission
   int max_attempts = 6;     // total tries per transfer
+  double backoff = 2.0;     // window multiplier per retry; 1.0 = fixed
+  double max_timeout = 0.0; // cap on a single window; 0 = uncapped
+  /// Each window is stretched by a uniform factor in [1, 1 + jitter),
+  /// drawn from a per-transfer stream forked off `jitter_seed` — fully
+  /// deterministic, independent of transfer interleaving.
+  double jitter = 0.0;
+  std::uint64_t jitter_seed = 0x5eed;
+  /// Record a per-transfer attempt trace in the report (costs memory
+  /// proportional to attempts).
+  bool record_attempts = false;
+  /// Observer invoked on every delivery of a protocol message (including
+  /// duplicates), after the report accounting. Used by the chaos engine to
+  /// check cross-layer invariants (e.g. no delivery to a dead site).
+  std::function<void(const Message&, double time)> on_delivery;
+};
+
+/// One send of one transfer.
+struct AttemptRecord {
+  int attempt = 0;      // 0-based
+  double sent_at = 0.0;
+  double window = 0.0;  // timeout armed for this attempt (backoff + jitter)
+};
+
+struct TransferTrace {
+  std::vector<AttemptRecord> attempts;
+  bool completed = false;
+  double completed_at = 0.0;  // first delivery; meaningless unless completed
 };
 
 struct ReliableReport {
@@ -34,7 +67,10 @@ struct ReliableReport {
   std::uint64_t completed = 0;     // delivered at least once
   std::uint64_t retransmissions = 0;
   std::uint64_t abandoned = 0;     // max_attempts exhausted
-  double completion_time = 0.0;    // clock when the last delivery landed
+  std::uint64_t duplicate_deliveries = 0;  // copies after the first, deduped
+  double completion_time = 0.0;    // clock when the last first-copy landed
+  /// One trace per transfer, in order; empty unless record_attempts.
+  std::vector<TransferTrace> traces;
 };
 
 /// Routes each attempt; receives (source, destination, attempt index).
@@ -42,8 +78,8 @@ using AttemptRouter =
     std::function<RoutingPath(const Word&, const Word&, int attempt)>;
 
 /// Drives `transfers` to completion over `sim` (which may have failed
-/// sites and finite queues). Installs a delivery hook on the simulator;
-/// any hook previously installed is replaced.
+/// sites, a fault schedule and finite queues). Installs a delivery hook on
+/// the simulator; any hook previously installed is replaced.
 ReliableReport run_reliable(Simulator& sim, const std::vector<Transfer>& transfers,
                             const AttemptRouter& route,
                             const ReliableConfig& config = {});

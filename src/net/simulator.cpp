@@ -43,6 +43,11 @@ bool Simulator::is_failed(std::uint64_t rank) const {
   return failed_[rank];
 }
 
+void Simulator::recover_node(std::uint64_t rank) {
+  DBN_REQUIRE(rank < graph_.vertex_count(), "recover_node: rank out of range");
+  failed_[rank] = false;
+}
+
 void Simulator::fail_link(std::uint64_t from, std::uint64_t to) {
   DBN_REQUIRE(from < graph_.vertex_count() && to < graph_.vertex_count(),
               "fail_link: rank out of range");
@@ -53,6 +58,49 @@ bool Simulator::is_link_failed(std::uint64_t from, std::uint64_t to) const {
   DBN_REQUIRE(from < graph_.vertex_count() && to < graph_.vertex_count(),
               "is_link_failed: rank out of range");
   return failed_links_.contains(from * graph_.vertex_count() + to);
+}
+
+void Simulator::recover_link(std::uint64_t from, std::uint64_t to) {
+  DBN_REQUIRE(from < graph_.vertex_count() && to < graph_.vertex_count(),
+              "recover_link: rank out of range");
+  failed_links_.erase(from * graph_.vertex_count() + to);
+}
+
+void Simulator::set_fault_schedule(FaultSchedule schedule) {
+  for (const FaultEvent& event : schedule.events()) {
+    const bool is_site = event.kind == FaultEventKind::SiteCrash ||
+                         event.kind == FaultEventKind::SiteRecover;
+    DBN_REQUIRE(event.a < graph_.vertex_count() &&
+                    (is_site || event.b < graph_.vertex_count()),
+                "fault schedule names a rank outside this network");
+  }
+  schedule_ = std::move(schedule);
+  schedule_cursor_ = 0;
+  apply_faults_until(now_);
+}
+
+void Simulator::apply_faults_until(double time) {
+  const std::vector<FaultEvent>& events = schedule_.events();
+  while (schedule_cursor_ < events.size() &&
+         events[schedule_cursor_].time <= time) {
+    const FaultEvent& event = events[schedule_cursor_];
+    switch (event.kind) {
+      case FaultEventKind::SiteCrash:
+        failed_[event.a] = true;
+        break;
+      case FaultEventKind::SiteRecover:
+        failed_[event.a] = false;
+        break;
+      case FaultEventKind::LinkCrash:
+        failed_links_.insert(event.a * graph_.vertex_count() + event.b);
+        break;
+      case FaultEventKind::LinkRecover:
+        failed_links_.erase(event.a * graph_.vertex_count() + event.b);
+        break;
+    }
+    ++stats_.fault_events_applied;
+    ++schedule_cursor_;
+  }
 }
 
 void Simulator::inject(double time, Message message) {
@@ -85,7 +133,17 @@ double Simulator::run(double until) {
     heap_.pop_back();
     DBN_ASSERT(event.time >= now_, "event times must be non-decreasing");
     now_ = event.time;
+    // Crash-before-arrival: scheduled faults at time t precede message
+    // arrivals at t, so a site crashing "now" drops the message landing on
+    // it in the same instant.
+    apply_faults_until(now_);
     arrive(event.flight);
+  }
+  if (until != std::numeric_limits<double>::infinity()) {
+    // Windowed runs advance the fault state to the window edge so callers
+    // injecting at `until` (e.g. the reliable driver) see scheduled
+    // crashes/recoveries even when no message arrival reached them.
+    apply_faults_until(until);
   }
   return now_;
 }

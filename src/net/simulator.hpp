@@ -23,6 +23,7 @@
 
 #include "common/rng.hpp"
 #include "debruijn/graph.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 
 namespace dbn::net {
@@ -63,6 +64,7 @@ struct SimStats {
   std::uint64_t dropped_link = 0;      // sent across a failed link
   std::uint64_t dropped_overflow = 0;  // link queue over capacity
   std::uint64_t misdelivered = 0;      // path exhausted at a wrong site
+  std::uint64_t fault_events_applied = 0;  // schedule entries consumed
   std::uint64_t total_hops = 0;
   double total_latency = 0.0;
   double max_latency = 0.0;
@@ -93,11 +95,36 @@ class Simulator {
   void fail_node(std::uint64_t rank);
   bool is_failed(std::uint64_t rank) const;
 
+  /// Brings a failed site back (no-op if it is up).
+  void recover_node(std::uint64_t rank);
+
   /// Marks a directed link as failed: anything forwarded across it is
   /// dropped (stats().dropped_link). Both ranks must be valid; the pair
   /// need not currently be an edge (failing it is then a no-op).
   void fail_link(std::uint64_t from, std::uint64_t to);
   bool is_link_failed(std::uint64_t from, std::uint64_t to) const;
+
+  /// Brings a failed directed link back (no-op if it is up).
+  void recover_link(std::uint64_t from, std::uint64_t to);
+
+  /// Current fault state, as of now(). Link keys are from * N + to.
+  const std::vector<bool>& failed_sites() const { return failed_; }
+  const std::unordered_set<std::uint64_t>& failed_links() const {
+    return failed_links_;
+  }
+
+  /// Installs a dynamic fault script, replacing any previous one. Events
+  /// are applied as run() advances the clock; an event at time t is
+  /// applied before message arrivals at t (crash-before-arrival). Events
+  /// at or before now() are applied immediately. With a finite run(until),
+  /// events up to `until` are applied even if no message arrival reaches
+  /// them, so later injections observe the scheduled state.
+  void set_fault_schedule(FaultSchedule schedule);
+
+  /// Fault events not yet applied (i.e. scheduled after the clock).
+  std::size_t pending_fault_events() const {
+    return schedule_.events().size() - schedule_cursor_;
+  }
 
   /// Schedules `message` to enter the network at its source site at `time`
   /// (>= 0). Must be called before run() finishes processing that time.
@@ -163,6 +190,7 @@ class Simulator {
   };
 
   void arrive(std::size_t flight_index);
+  void apply_faults_until(double time);
   void deliver(InFlight& flight);
   Digit resolve_wildcard(std::uint64_t at, ShiftType type, Rng& rng);
   std::uint64_t shift_target(std::uint64_t at, ShiftType type, Digit digit) const;
@@ -175,6 +203,8 @@ class Simulator {
   std::vector<bool> failed_;
   std::unordered_map<std::uint64_t, LinkState> links_;  // key: from * N + to
   std::unordered_set<std::uint64_t> failed_links_;      // same keying
+  FaultSchedule schedule_;
+  std::size_t schedule_cursor_ = 0;
   SimStats stats_;
   std::vector<Trace> traces_;
   Rng rng_;

@@ -1,0 +1,151 @@
+// The chaos engine: randomized failure-scenario testing for the network
+// stack (src/net/), in the mold of the differential conformance kit.
+//
+// A ChaosScenario bundles everything a failure run needs — network shape,
+// a batch of transfers, the reliable-transfer configuration, and a
+// FaultSchedule of timed site/link crashes, recoveries and flaps. The
+// runner executes the scenario to quiescence on the discrete-event
+// simulator (deterministically: same scenario -> same run) and checks the
+// robustness invariants that must hold for ANY scenario:
+//
+//   accounting     completed + abandoned == transfers
+//   retry budget   retransmissions <= transfers * (max_attempts - 1)
+//   traces         every transfer has 1..max_attempts attempts, sent at
+//                  strictly increasing times, with positive windows
+//   liveness       no delivery lands on a site that is dead at that instant
+//   termination    the simulated clock stays within an analytic budget
+//                  (backoff windows + a drain bound)
+//   conservation   the simulator accounts for every injected message
+//   determinism    two runs of one scenario produce identical summaries
+//
+// run_chaos_fuzz() samples random scenarios, checks them, greedily shrinks
+// any violation, and hands back replayable reproducers; tools/dbn_chaos is
+// the CLI, and tests/corpus/chaos/*.chaos hold the regression scenarios.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/reliable.hpp"
+#include "net/simulator.hpp"
+
+namespace dbn::testkit {
+
+/// A self-contained failure scenario. Serialized as the line-based
+/// ".chaos" text format (see to_text / parse and docs/fault_injection.md).
+struct ChaosScenario {
+  std::uint32_t d = 2;
+  std::size_t k = 3;
+  std::uint64_t seed = 1;          // simulator seed
+  double link_delay = 1.0;
+  std::size_t queue_capacity = 0;  // 0 = unlimited
+  net::ReliableConfig reliable;    // callbacks/record_attempts not serialized
+  std::vector<net::Transfer> transfers;
+  net::FaultSchedule schedule;
+
+  std::uint64_t vertex_count() const;
+
+  /// The ".chaos" text serialization, parse()'s inverse.
+  std::string to_text() const;
+
+  /// Parses the text format ('#' comments and blank lines skipped; the
+  /// first payload line must be the "chaos/1" header). Throws
+  /// ContractViolation on malformed input.
+  static ChaosScenario parse(std::string_view text);
+};
+
+/// Outcome of one scenario run.
+struct ChaosRunResult {
+  net::ReliableReport report;
+  net::SimStats stats;
+  double final_clock = 0.0;
+  double clock_budget = 0.0;  // the termination bound that was enforced
+  /// Human-readable invariant violations; empty on a clean run.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+/// Runs `scenario` to quiescence and checks every invariant above except
+/// determinism (which needs two runs; see run_deterministically).
+ChaosRunResult run_scenario(const ChaosScenario& scenario);
+
+/// One-line digest of everything observable about a run; two runs of the
+/// same scenario must produce equal summaries.
+std::string run_summary(const ChaosRunResult& result);
+
+/// Runs the scenario twice; any invariant violation of either run plus a
+/// "non-deterministic replay" violation when the summaries differ.
+ChaosRunResult run_deterministically(const ChaosScenario& scenario);
+
+/// Samples a random scenario: a (d, k) point from a small grid (including
+/// the degenerate d = 1 and k = 1 corners), random traffic, and a random
+/// schedule mixing crashes, recoveries and flapping.
+ChaosScenario random_scenario(Rng& rng);
+
+/// Returns true while the scenario still violates an invariant.
+using ChaosFailPredicate = std::function<bool(const ChaosScenario&)>;
+
+struct ChaosShrinkResult {
+  ChaosScenario scenario;
+  int reductions = 0;
+  int candidates_tried = 0;
+};
+
+/// Greedily minimizes `scenario` under `still_fails` (dropping transfers
+/// and fault events, lowering the attempt budget, simplifying timing, then
+/// shrinking k and d) to a fixpoint. Deterministic: a given violating
+/// scenario always shrinks to the same reproducer. Requires
+/// still_fails(scenario) on entry.
+ChaosShrinkResult shrink_scenario(ChaosScenario scenario,
+                                  const ChaosFailPredicate& still_fails);
+
+struct ChaosFuzzOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 1000;
+  /// Stop early after this many seconds; 0 means no time budget.
+  double time_budget_seconds = 0.0;
+  bool shrink = true;
+  std::size_t max_failures = 8;
+  std::ostream* log = nullptr;  // progress / failure log; nullptr = silent
+};
+
+struct ChaosFailure {
+  ChaosScenario original;
+  ChaosScenario shrunk;
+  /// Violations of the shrunk scenario, one per line.
+  std::string details;
+};
+
+struct ChaosFuzzReport {
+  std::uint64_t iterations_run = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> point_coverage;
+  std::vector<ChaosFailure> failures;
+  double elapsed_seconds = 0.0;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// The deterministic scenario-fuzz loop: same options -> same scenarios ->
+/// same report. Every scenario is run twice (determinism is an invariant).
+ChaosFuzzReport run_chaos_fuzz(const ChaosFuzzOptions& options);
+
+/// Loads one scenario from a .chaos file. Throws if the file cannot be
+/// opened or fails to parse.
+ChaosScenario load_chaos_file(const std::string& path);
+
+/// The *.chaos files directly under `dir`, sorted by name. Throws if `dir`
+/// is not a directory.
+std::vector<std::string> list_chaos_files(const std::string& dir);
+
+/// Replays every file; returns "<file>: <violation>" strings (empty when
+/// all scenarios hold every invariant, determinism included).
+std::vector<std::string> replay_chaos_files(
+    const std::vector<std::string>& files, std::ostream* log = nullptr);
+
+}  // namespace dbn::testkit

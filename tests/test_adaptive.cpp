@@ -79,6 +79,98 @@ TEST(Adaptive, TtlBoundsTheWalk) {
   EXPECT_LE(r.hops, 2);
 }
 
+TEST(Adaptive, DegenerateNetworksDeliverExactly) {
+  // d = 1 (single vertex) and k = 1 (complete graph K_d): the greedy walk
+  // must stay exact where the closed-form analyses degenerate.
+  Rng rng(31);
+  for (const auto& p : testing::degenerate_grid()) {
+    const DeBruijnGraph g(p.d, p.k, Orientation::Undirected);
+    const std::vector<bool> none(g.vertex_count(), false);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Word x = g.word(rng.below(g.vertex_count()));
+      const Word y = g.word(rng.below(g.vertex_count()));
+      const AdaptiveResult r = adaptive_route(g, none, x, y, rng);
+      EXPECT_TRUE(r.delivered) << p;
+      EXPECT_EQ(r.hops, undirected_distance(x, y)) << p;
+    }
+  }
+}
+
+TEST(Adaptive, DefaultTtlHasAFloorOfEightAtK1) {
+  // jitter = 1.0 forces a sideways move whenever one exists; in K_5 every
+  // non-destination neighbor is sideways, so the walk spends its whole TTL.
+  // The old default of 4k hops collapsed to 4 at k = 1; the floor is 8.
+  const DeBruijnGraph g(5, 1, Orientation::Undirected);
+  const std::vector<bool> none(g.vertex_count(), false);
+  Rng rng(32);
+  AdaptiveConfig config;
+  config.jitter = 1.0;
+  const AdaptiveResult r =
+      adaptive_route(g, none, g.word(0), g.word(1), rng, config);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.hops, 8) << "default ttl must be max(4k, 8)";
+  EXPECT_EQ(r.sideways_moves, 8);
+}
+
+TEST(Adaptive, DegenerateK1RoutesAroundMaximalFaults) {
+  // In K_d any two survivors stay adjacent, whatever else is dead.
+  for (const std::uint32_t d : {2u, 5u, 11u}) {
+    const DeBruijnGraph g(d, 1, Orientation::Undirected);
+    std::vector<bool> failed(g.vertex_count(), false);
+    for (std::uint64_t v = 1; v + 1 < g.vertex_count(); ++v) {
+      failed[v] = true;
+    }
+    Rng rng(33);
+    const AdaptiveResult r =
+        adaptive_route(g, failed, g.word(0), g.word(d - 1), rng);
+    EXPECT_TRUE(r.delivered) << "d=" << d;
+    EXPECT_EQ(r.hops, 1) << "d=" << d;
+  }
+}
+
+TEST(Adaptive, DeflectionDominatesGreedyGiveUp) {
+  // Same seed, same walk — until greedy gives up. The deflecting walk
+  // extends it, so it can only deliver more, and any extra delivery must
+  // both use a backward move and be sanctioned by the BFS oracle.
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  Rng rng(34);
+  int recovered = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto failed = random_fault_set(g, 7, rng);
+    const FaultAwareRouter oracle(g, failed);
+    for (int probe = 0; probe < 10; ++probe) {
+      const std::uint64_t xr = rng.below(g.vertex_count());
+      const std::uint64_t yr = rng.below(g.vertex_count());
+      if (failed[xr] || failed[yr]) {
+        continue;
+      }
+      const std::uint64_t seed = rng();
+      AdaptiveConfig greedy_only;
+      greedy_only.deflect = false;
+      Rng ra(seed);
+      Rng rb(seed);
+      const AdaptiveResult greedy = adaptive_route(
+          g, failed, g.word(xr), g.word(yr), ra, greedy_only);
+      const AdaptiveResult deflecting =
+          adaptive_route(g, failed, g.word(xr), g.word(yr), rb);
+      EXPECT_TRUE(!greedy.delivered || deflecting.delivered)
+          << "deflection must never lose a delivery greedy makes";
+      if (greedy.delivered) {
+        EXPECT_EQ(deflecting.hops, greedy.hops);
+        EXPECT_EQ(deflecting.deflections, 0);
+      }
+      if (deflecting.delivered && !greedy.delivered) {
+        ++recovered;
+        EXPECT_GT(deflecting.deflections, 0);
+        EXPECT_TRUE(oracle.route(g.word(xr), g.word(yr)).has_value())
+            << "a live walk reached y, so a surviving path exists";
+      }
+    }
+  }
+  EXPECT_GT(recovered, 0)
+      << "7 faults in DN(2,6) must strand greedy somewhere deflection saves";
+}
+
 TEST(Adaptive, RejectsBadUsage) {
   const DeBruijnGraph und(2, 4, Orientation::Undirected);
   const DeBruijnGraph dir(2, 4, Orientation::Directed);

@@ -1,0 +1,62 @@
+// Replays the checked-in chaos reproducers (tests/corpus/chaos/*.chaos)
+// through the full invariant battery, determinism included. Shrunk fuzz
+// failures get committed here so regressions stay pinned; the same corpus
+// is replayed by `dbn_chaos --replay` in the chaos_corpus_replay ctest.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testkit/chaos.hpp"
+
+namespace dbn::testkit {
+namespace {
+
+std::string corpus_dir() { return std::string(DBN_CORPUS_DIR) + "/chaos"; }
+
+TEST(ChaosCorpus, SeedScenariosArePresent) {
+  const std::vector<std::string> files = list_chaos_files(corpus_dir());
+  EXPECT_GE(files.size(), 3u)
+      << "the fault-cluster, link-flap and partition seeds must exist";
+}
+
+TEST(ChaosCorpus, EveryScenarioRoundTripsThroughTheTextFormat) {
+  for (const std::string& file : list_chaos_files(corpus_dir())) {
+    SCOPED_TRACE(file);
+    const ChaosScenario scenario = load_chaos_file(file);
+    const std::string text = scenario.to_text();
+    EXPECT_EQ(ChaosScenario::parse(text).to_text(), text);
+  }
+}
+
+TEST(ChaosCorpus, EveryScenarioHoldsEveryInvariant) {
+  const std::vector<std::string> files = list_chaos_files(corpus_dir());
+  const std::vector<std::string> violations = replay_chaos_files(files);
+  std::string joined;
+  for (const std::string& v : violations) {
+    joined += v + "\n";
+  }
+  EXPECT_TRUE(violations.empty()) << joined;
+}
+
+TEST(ChaosCorpus, ScenariosExerciseDistinctFailureModes) {
+  // The seeds are not interchangeable: at least one scenario must abandon
+  // transfers (the unreachable destination) and at least one must recover
+  // everything (flap / healed partition).
+  bool saw_abandonment = false;
+  bool saw_full_recovery = false;
+  for (const std::string& file : list_chaos_files(corpus_dir())) {
+    const ChaosRunResult result = run_scenario(load_chaos_file(file));
+    ASSERT_TRUE(result.ok()) << file;
+    saw_abandonment = saw_abandonment || result.report.abandoned > 0;
+    saw_full_recovery =
+        saw_full_recovery || (result.report.abandoned == 0 &&
+                              result.report.retransmissions > 0 &&
+                              result.report.completed > 0);
+  }
+  EXPECT_TRUE(saw_abandonment);
+  EXPECT_TRUE(saw_full_recovery);
+}
+
+}  // namespace
+}  // namespace dbn::testkit

@@ -183,6 +183,58 @@ TEST(Fault, IsolatingLinkCutIsDetected) {
                    .has_value());
 }
 
+TEST(Fault, DegenerateNetworksRouteExactly) {
+  // d = 1 and k = 1 corners: the BFS router must agree with the distance
+  // function everywhere, including the single-vertex networks.
+  for (const auto& p : testing::degenerate_grid()) {
+    const DeBruijnGraph g(p.d, p.k, Orientation::Undirected);
+    const std::vector<bool> none(g.vertex_count(), false);
+    const FaultAwareRouter router(g, none);
+    for (std::uint64_t xr = 0; xr < g.vertex_count(); ++xr) {
+      for (std::uint64_t yr = 0; yr < g.vertex_count(); ++yr) {
+        const auto path = router.route(g.word(xr), g.word(yr));
+        ASSERT_TRUE(path.has_value()) << p;
+        EXPECT_EQ(static_cast<int>(path->length()),
+                  undirected_distance(g.word(xr), g.word(yr)))
+            << p;
+      }
+    }
+  }
+}
+
+TEST(Fault, DegenerateK1ToleratesHeavyFaults) {
+  // K_7: any two survivors stay adjacent no matter how many others die —
+  // far beyond the d-1 bound the general topology guarantees.
+  const DeBruijnGraph g(7, 1, Orientation::Undirected);
+  std::vector<bool> failed(g.vertex_count(), false);
+  for (std::uint64_t v = 1; v <= 5; ++v) {
+    failed[v] = true;
+  }
+  EXPECT_TRUE(survivors_connected(g, failed));
+  const FaultAwareRouter router(g, failed);
+  const auto path = router.route(g.word(0), g.word(6));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->length(), 1u);
+  EXPECT_FALSE(router.route(g.word(0), g.word(3)).has_value())
+      << "a dead endpoint has no route";
+}
+
+TEST(Fault, DegenerateLinkAvoidanceDetoursOnK1) {
+  const DeBruijnGraph g(3, 1, Orientation::Undirected);
+  const std::vector<bool> none(g.vertex_count(), false);
+  const std::unordered_set<std::uint64_t> dead_link = {
+      0 * g.vertex_count() + 1};  // the directed link 0 -> 1
+  const auto path = route_avoiding(g, none, dead_link, g.word(0), g.word(1));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->length(), 2u) << "0 -> 2 -> 1 is the only detour in K_3";
+  // The single-vertex network degenerates cleanly too.
+  const DeBruijnGraph one(1, 3, Orientation::Undirected);
+  const auto trivial = route_avoiding(one, {false}, {}, one.word(0),
+                                      one.word(0));
+  ASSERT_TRUE(trivial.has_value());
+  EXPECT_EQ(trivial->length(), 0u);
+}
+
 TEST(Fault, SimulatorAndFaultRouterTogether) {
   // End to end: with one failed site, fault-aware paths deliver while the
   // oblivious shortest path through the failed site is dropped.

@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "core/routers.hpp"
+#include "net/adaptive.hpp"
 #include "net/fault.hpp"
 #include "net/simulator.hpp"
 #include "testing_util.hpp"
@@ -99,6 +100,43 @@ TEST(SimulatorProperties, AccountingAlwaysBalances) {
       for (const auto& trace : sim.traces()) {
         for (std::size_t i = 1; i < trace.visits.size(); ++i) {
           EXPECT_LE(trace.visits[i - 1].first, trace.visits[i].first);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimulatorProperties, AdaptiveNeverBeatsTheBfsOracle) {
+  // Local-knowledge routing cross-checked against global knowledge: the
+  // adaptive walk (deflections included) must never deliver a pair the
+  // fault-aware BFS proves disconnected, and a delivered walk can never
+  // undercut the surviving shortest path.
+  Rng rng(9099);
+  const std::vector<std::pair<std::uint32_t, std::size_t>> grid = {
+      {2, 4}, {2, 6}, {3, 3}};
+  for (const auto& [d, k] : grid) {
+    const DeBruijnGraph g(d, k, Orientation::Undirected);
+    for (int trial = 0; trial < 12; ++trial) {
+      const std::size_t faults =
+          rng.below(std::min<std::uint64_t>(g.vertex_count() / 4, 9));
+      const auto failed = random_fault_set(g, faults, rng);
+      const FaultAwareRouter oracle(g, failed);
+      for (int probe = 0; probe < 20; ++probe) {
+        const std::uint64_t xr = rng.below(g.vertex_count());
+        const std::uint64_t yr = rng.below(g.vertex_count());
+        if (failed[xr] || failed[yr]) {
+          continue;
+        }
+        AdaptiveConfig config;
+        config.jitter = rng.chance(0.5) ? 0.2 : 0.0;
+        const AdaptiveResult r =
+            adaptive_route(g, failed, g.word(xr), g.word(yr), rng, config);
+        const auto path = oracle.route(g.word(xr), g.word(yr));
+        if (r.delivered) {
+          ASSERT_TRUE(path.has_value())
+              << "d=" << d << " k=" << k << " " << xr << "->" << yr
+              << ": adaptive delivered across a proven partition";
+          EXPECT_GE(r.hops, static_cast<int>(path->length()));
         }
       }
     }

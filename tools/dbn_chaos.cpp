@@ -1,0 +1,272 @@
+// dbn_chaos — failure-scenario fuzzer for the network stack (src/net/),
+// built on the chaos engine (src/testkit/chaos.hpp).
+//
+//   dbn_chaos [--seed N] [--iters N] [--time-budget SEC] [--no-shrink]
+//             [--max-failures N] [--failure-dir DIR] [--quiet]
+//   dbn_chaos --replay <scenario.chaos | directory>
+//
+// Flags accept both "--flag value" and "--flag=value".
+//
+// The fuzz loop samples random fault schedules + traffic, runs each
+// scenario to quiescence twice (determinism is one of the invariants),
+// checks the chaos invariants, and greedily shrinks any violation.
+// --failure-dir writes every shrunk violation as a replayable
+// failure_<n>.chaos scenario (violations annotated as comments) so CI can
+// upload the directory as an artifact.
+//
+// Exit status: 0 when every scenario holds every invariant, 1 on any
+// violation, 2 on usage errors.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/contract.hpp"
+#include "testkit/chaos.hpp"
+
+namespace {
+
+using namespace dbn;
+
+void usage(std::ostream& out) {
+  out << "usage:\n"
+         "  dbn_chaos [--seed N] [--iters N] [--time-budget SEC] "
+         "[--no-shrink]\n"
+         "            [--max-failures N] [--failure-dir DIR] [--quiet]\n"
+         "  dbn_chaos --replay <scenario.chaos | directory>\n";
+}
+
+struct ParsedArgs {
+  std::vector<std::string> replays;
+  std::string failure_dir;
+  bool quiet = false;
+  bool ok = true;
+  testkit::ChaosFuzzOptions fuzz;
+};
+
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(text, &used);
+    if (used != text.size()) {
+      return std::nullopt;
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+ParsedArgs parse_args(int argc, char** argv) {
+  ParsedArgs parsed;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> flat;
+  for (const std::string& a : args) {
+    const auto eq = a.find('=');
+    if (a.starts_with("--") && eq != std::string::npos) {
+      flat.push_back(a.substr(0, eq));
+      flat.push_back(a.substr(eq + 1));
+    } else {
+      flat.push_back(a);
+    }
+  }
+  const auto take_value = [&flat](std::size_t& i) -> std::optional<std::string> {
+    if (i + 1 >= flat.size()) {
+      return std::nullopt;
+    }
+    return flat[++i];
+  };
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const std::string& arg = flat[i];
+    const auto number = [&](std::uint64_t& out) {
+      const auto text = take_value(i);
+      const auto value = text ? parse_u64(*text) : std::nullopt;
+      if (!value) {
+        std::cerr << "dbn_chaos: " << arg << " needs a number\n";
+        parsed.ok = false;
+        return;
+      }
+      out = *value;
+    };
+    if (arg == "--seed") {
+      number(parsed.fuzz.seed);
+    } else if (arg == "--iters") {
+      number(parsed.fuzz.iterations);
+    } else if (arg == "--max-failures") {
+      std::uint64_t value = parsed.fuzz.max_failures;
+      number(value);
+      parsed.fuzz.max_failures = static_cast<std::size_t>(value);
+    } else if (arg == "--time-budget") {
+      const auto text = take_value(i);
+      try {
+        parsed.fuzz.time_budget_seconds = text ? std::stod(*text) : -1.0;
+      } catch (const std::exception&) {
+        parsed.fuzz.time_budget_seconds = -1.0;
+      }
+      if (!text || parsed.fuzz.time_budget_seconds < 0) {
+        std::cerr << "dbn_chaos: --time-budget needs seconds\n";
+        parsed.ok = false;
+      }
+    } else if (arg == "--replay") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_chaos: --replay needs an argument\n";
+        parsed.ok = false;
+      } else {
+        parsed.replays.push_back(*text);
+      }
+    } else if (arg == "--failure-dir") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_chaos: --failure-dir needs a directory\n";
+        parsed.ok = false;
+      } else {
+        parsed.failure_dir = *text;
+      }
+    } else if (arg == "--no-shrink") {
+      parsed.fuzz.shrink = false;
+    } else if (arg == "--quiet") {
+      parsed.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "dbn_chaos: unknown argument " << arg << "\n";
+      parsed.ok = false;
+    }
+  }
+  return parsed;
+}
+
+int run_replays(const ParsedArgs& parsed) {
+  namespace fs = std::filesystem;
+  std::ostream* log = parsed.quiet ? nullptr : &std::cout;
+  std::vector<std::string> failures;
+  for (const std::string& target : parsed.replays) {
+    std::vector<std::string> files;
+    if (fs::is_directory(target)) {
+      files = testkit::list_chaos_files(target);
+      if (files.empty()) {
+        std::cerr << "dbn_chaos: no *.chaos files in " << target << "\n";
+        return 2;
+      }
+    } else if (fs::is_regular_file(target)) {
+      files.push_back(target);
+    } else {
+      std::cerr << "dbn_chaos: no such file or directory: " << target << "\n";
+      return 2;
+    }
+    const auto file_failures = testkit::replay_chaos_files(files, log);
+    failures.insert(failures.end(), file_failures.begin(),
+                    file_failures.end());
+  }
+  if (!failures.empty()) {
+    std::cerr << "dbn_chaos: " << failures.size() << " replay violation(s)\n";
+    for (const std::string& f : failures) {
+      std::cerr << "  " << f << "\n";
+    }
+    return 1;
+  }
+  if (log != nullptr) {
+    *log << "dbn_chaos: all replayed scenarios hold every invariant\n";
+  }
+  return 0;
+}
+
+// Writes each shrunk violation as a replayable *.chaos file; returns the
+// number written (0 also when the directory cannot be created).
+std::size_t write_failure_scenarios(const std::string& dir,
+                                    const testkit::ChaosFuzzReport& report) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "dbn_chaos: cannot create --failure-dir " << dir << ": "
+              << ec.message() << "\n";
+    return 0;
+  }
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const testkit::ChaosFailure& failure = report.failures[i];
+    const fs::path path =
+        fs::path(dir) / ("failure_" + std::to_string(i) + ".chaos");
+    std::ofstream file(path);
+    if (!file) {
+      std::cerr << "dbn_chaos: cannot write " << path.string() << "\n";
+      continue;
+    }
+    file << "# shrunk chaos reproducer " << i
+         << " (replay with: dbn_chaos --replay " << path.filename().string()
+         << ")\n# violations:\n";
+    std::istringstream details(failure.details);
+    for (std::string line; std::getline(details, line);) {
+      file << "#   " << line << "\n";
+    }
+    file << "# original scenario had " << failure.original.transfers.size()
+         << " transfer(s), " << failure.original.schedule.size()
+         << " fault event(s) on d=" << failure.original.d
+         << " k=" << failure.original.k << "\n";
+    file << failure.shrunk.to_text();
+    ++written;
+  }
+  return written;
+}
+
+int run_fuzz_loop(ParsedArgs& parsed) {
+  if (!parsed.quiet) {
+    parsed.fuzz.log = &std::cout;
+  }
+  const testkit::ChaosFuzzReport report = testkit::run_chaos_fuzz(parsed.fuzz);
+  if (!parsed.quiet) {
+    std::cout << "dbn_chaos: " << report.iterations_run << " scenarios in "
+              << report.elapsed_seconds << "s across "
+              << report.point_coverage.size() << " (d, k) points\n";
+    for (const auto& [point, count] : report.point_coverage) {
+      std::cout << "  " << point << ": " << count << " scenarios\n";
+    }
+  }
+  if (!report.ok()) {
+    std::cerr << "dbn_chaos: " << report.failures.size()
+              << " invariant violation(s); shrunk reproducers:\n";
+    for (const auto& failure : report.failures) {
+      std::cerr << failure.shrunk.to_text() << failure.details << "\n";
+    }
+    if (!parsed.failure_dir.empty()) {
+      const std::size_t written =
+          write_failure_scenarios(parsed.failure_dir, report);
+      std::cerr << "dbn_chaos: wrote " << written << " scenario file(s) to "
+                << parsed.failure_dir << "\n";
+    }
+    return 1;
+  }
+  if (!parsed.quiet) {
+    std::cout << "dbn_chaos: zero invariant violations\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    ParsedArgs parsed = parse_args(argc, argv);
+    if (!parsed.ok) {
+      usage(std::cerr);
+      return 2;
+    }
+    if (!parsed.replays.empty()) {
+      return run_replays(parsed);
+    }
+    return run_fuzz_loop(parsed);
+  } catch (const dbn::ContractViolation& e) {
+    std::cerr << "dbn_chaos: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "dbn_chaos: " << e.what() << "\n";
+    return 2;
+  }
+}
