@@ -11,6 +11,12 @@
 // per-worker scratch arenas, with an optional sharded memo cache for
 // repeated (X, Y) flows. The thread sweep 1/2/4/8 is the CI smoke grid
 // recorded in BENCH_*.json (docs/benchmarking.md).
+// BM_UntracedRoute / BM_TracedRoute measure the observability subsystem:
+// untraced is the default disabled path (one relaxed atomic load per
+// route), traced routes into a discarding sink so the cost of building
+// span/hop events is visible. scripts/bench_report.py derives the
+// disabled-overhead row (BM_UntracedRoute vs BM_Engine at the same k) and
+// CI gates it at 5%.
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -19,6 +25,7 @@
 #include "core/batch_route_engine.hpp"
 #include "core/route_engine.hpp"
 #include "core/routers.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -71,6 +78,46 @@ void BM_EngineDistanceOnly(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_EngineDistanceOnly)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+/// Accepts every event and throws it away — isolates the cost of *producing*
+/// trace events from any export format.
+class DiscardSink : public obs::TraceSink {
+ public:
+  void emit(const obs::TraceEvent& event) override {
+    benchmark::DoNotOptimize(&event);
+  }
+};
+
+void BM_UntracedRoute(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  BidirectionalRouteEngine engine(k);
+  RoutingPath path;
+  for (auto _ : state) {
+    engine.route_into(x, y, WildcardMode::Concrete, path);
+    benchmark::DoNotOptimize(path);
+  }
+}
+BENCHMARK(BM_UntracedRoute)->Arg(16);
+
+void BM_TracedRoute(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  BidirectionalRouteEngine engine(k);
+  RoutingPath path;
+  DiscardSink sink;
+  obs::set_trace_sink(&sink);
+  for (auto _ : state) {
+    engine.route_into(x, y, WildcardMode::Concrete, path);
+    benchmark::DoNotOptimize(path);
+  }
+  obs::set_trace_sink(nullptr);
+}
+BENCHMARK(BM_TracedRoute)->Arg(16);
 
 // The CI smoke grid: DG(2,10), random pairs, 8192 queries per batch.
 constexpr std::uint32_t kSmokeD = 2;

@@ -8,13 +8,21 @@ Two subcommands:
            - any requested Google-Benchmark binaries from bench/, executed
              with --benchmark_format=json and folded into the same schema.
            The output is the committed BENCH_<date>.json format described
-           in docs/benchmarking.md.
+           in docs/benchmarking.md. A metrics/1 snapshot from dbn_bench
+           (--metrics-out) is embedded under "metrics", and when the
+           gbench rows include the BM_UntracedRoute / BM_TracedRoute /
+           BM_Engine trio (bench_route_engine), derived tracing-overhead
+           rows are appended; --max-disabled-overhead R fails (exit 1)
+           when the *disabled* tracing path costs more than R x the
+           uninstrumented engine loop measured in the same run.
 
   compare  Check a fresh report against a committed baseline and fail
            (exit 1) when any comparable single-thread entry regressed by
            more than --max-ratio (default 2.0x ns/query). Multi-thread
            entries are reported but never gate: their timing depends on
-           the runner's core count, which differs across hosts.
+           the runner's core count, which differs across hosts. Derived
+           rows (derived/...) are ratios, not timings, and never gate on
+           the baseline; the disabled-overhead gate runs at record time.
 
 Examples:
   scripts/bench_report.py record --build-dir build --smoke --out bench.json
@@ -32,12 +40,13 @@ SCHEMA = "dbn-bench/1"
 
 
 def run_dbn_bench(build_dir, smoke, extra_args):
-    """Run tools/dbn_bench and return its parsed JSON report."""
+    """Run tools/dbn_bench; returns (report dict, metrics/1 entries)."""
     binary = os.path.join(build_dir, "tools", "dbn_bench")
     if not os.path.exists(binary):
         sys.exit(f"bench_report: {binary} not found (build the tools first)")
     out_path = os.path.join(build_dir, "dbn_bench_report.json")
-    cmd = [binary, "--json", out_path]
+    metrics_path = os.path.join(build_dir, "dbn_bench_metrics.json")
+    cmd = [binary, "--json", out_path, "--metrics-out", metrics_path]
     if smoke:
         # --min-speedup 0 here: recording must not fail on slow runners;
         # the speedup is recorded in the JSON and gated by CI policy.
@@ -45,7 +54,58 @@ def run_dbn_bench(build_dir, smoke, extra_args):
     cmd += extra_args
     subprocess.run(cmd, check=True)
     with open(out_path) as f:
-        return json.load(f)
+        report = json.load(f)
+    return report, load_metrics(metrics_path)
+
+
+def load_metrics(path):
+    """Load a metrics/1 document, returning its entry list ([] if absent)."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "metrics/1":
+        sys.exit(f"bench_report: {path} has schema {doc.get('schema')!r}, "
+                 "expected 'metrics/1'")
+    return doc.get("metrics", [])
+
+
+def derive_tracing_overhead(rows):
+    """Appends derived tracing rows; returns the disabled-overhead ratio.
+
+    Looks for the bench_route_engine trio at the same k:
+      BM_Engine/16          the uninstrumented-era hot loop (baseline)
+      BM_UntracedRoute/16   same loop, tracing branch compiled in, sink off
+      BM_TracedRoute/16     same loop routing into a discarding sink
+    Returns None when the trio is not present.
+    """
+    def find(suffix):
+        for row in rows:
+            if row["name"].endswith(suffix):
+                return row["best_ns_per_query"]
+        return None
+
+    engine = find("/BM_Engine/16")
+    untraced = find("/BM_UntracedRoute/16")
+    traced = find("/BM_TracedRoute/16")
+    if engine is None or untraced is None or traced is None:
+        return None
+    disabled_overhead = untraced / engine
+    rows.append({
+        "name": "derived/trace_disabled_overhead",
+        "backend": "derived",
+        "threads": 1,
+        "best_ns_per_query": disabled_overhead,  # a ratio, not a timing
+        "note": "BM_UntracedRoute / BM_Engine at k=16 (same run)",
+    })
+    rows.append({
+        "name": "derived/trace_enabled_cost",
+        "backend": "derived",
+        "threads": 1,
+        "best_ns_per_query": traced / untraced,  # a ratio, not a timing
+        "note": "BM_TracedRoute / BM_UntracedRoute at k=16 (same run)",
+    })
+    return disabled_overhead
 
 
 def run_gbench(build_dir, name, benchmark_filter, min_time):
@@ -81,13 +141,17 @@ def run_gbench(build_dir, name, benchmark_filter, min_time):
 
 
 def cmd_record(args):
-    report = run_dbn_bench(args.build_dir, args.smoke, args.dbn_bench_arg)
+    report, metrics = run_dbn_bench(args.build_dir, args.smoke,
+                                    args.dbn_bench_arg)
     for name in args.gbench:
         report["results"].extend(
             run_gbench(args.build_dir, name, args.gbench_filter,
                        args.gbench_min_time))
+    disabled_overhead = derive_tracing_overhead(report["results"])
     report["schema"] = SCHEMA
     report["generated_by"] = "scripts/bench_report.py"
+    if metrics:
+        report["metrics"] = metrics
     out = args.out
     if not out:
         date = datetime.date.today().isoformat()
@@ -95,7 +159,22 @@ def cmd_record(args):
     with open(out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    print(f"bench_report: wrote {out} ({len(report['results'])} entries)")
+    print(f"bench_report: wrote {out} ({len(report['results'])} entries, "
+          f"{len(metrics)} metrics)")
+    if disabled_overhead is not None:
+        print(f"bench_report: tracing disabled-overhead "
+              f"{disabled_overhead:.3f}x")
+        if args.max_disabled_overhead > 0 and \
+                disabled_overhead > args.max_disabled_overhead:
+            print(f"bench_report: FAIL disabled tracing overhead "
+                  f"{disabled_overhead:.3f}x > allowed "
+                  f"{args.max_disabled_overhead:.2f}x")
+            return 1
+    elif args.max_disabled_overhead > 0:
+        print("bench_report: FAIL --max-disabled-overhead set but the "
+              "BM_Engine/BM_UntracedRoute/BM_TracedRoute trio was not "
+              "recorded (add --gbench bench_route_engine)")
+        return 1
     return 0
 
 
@@ -114,6 +193,10 @@ def cmd_compare(args):
     failures = []
     print(f"{'entry':48} {'baseline':>12} {'current':>12} {'ratio':>7}")
     for name, row in sorted(current.items()):
+        if name.startswith("derived/"):
+            print(f"{name:48} {'-':>12} "
+                  f"{row['best_ns_per_query']:12.3f} {'ratio':>7}")
+            continue
         base = baseline.get(name)
         if base is None:
             print(f"{name:48} {'-':>12} "
@@ -160,6 +243,10 @@ def main():
     rec.add_argument("--dbn-bench-arg", action="append", default=[],
                      help="extra argument forwarded to dbn_bench "
                           "(repeatable)")
+    rec.add_argument("--max-disabled-overhead", type=float, default=0.0,
+                     help="fail when disabled tracing costs more than this "
+                          "ratio of the uninstrumented loop (0 = no gate; "
+                          "CI uses 1.05)")
     rec.set_defaults(func=cmd_record)
 
     cmp_ = sub.add_parser("compare", help="gate a report against a baseline")

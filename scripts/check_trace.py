@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate trace/1 NDJSON files (the --trace-out format of the dbn tools).
+
+Checks, per file:
+  - the first line is the schema header {"schema": "trace/1"};
+  - every following line is one JSON object with the required fields
+    (name, cat, ph in {B, E, i}, clock in {wall, sim, logical}, numeric ts,
+    integer lane) and no unknown fields;
+  - span discipline: every span id opens with exactly one B before any
+    other reference, closes with at most one E carrying the same name, and
+    an E never precedes its B; instants may reference only opened spans;
+  - on the same span, end ts >= begin ts (all clocks are monotone within
+    one span).
+
+Exit status 0 when every file validates, 1 otherwise. --require-span NAME
+additionally fails when no span named NAME appears (used by CI to assert
+the smoke trace actually contains route spans).
+
+Usage:
+  scripts/check_trace.py trace.ndjson [more.ndjson ...] [--require-span route]
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_KEYS = {"name", "cat", "ph", "clock", "ts", "lane", "span", "args"}
+PHASES = {"B", "E", "i"}
+CLOCKS = {"wall", "sim", "logical"}
+
+
+def check_file(path, require_span):
+    errors = []
+    spans = {}  # span id -> {"name", "begin_ts", "ended"}
+    counts = {"B": 0, "E": 0, "i": 0}
+    seen_span_names = set()
+
+    def err(line_no, message):
+        errors.append(f"{path}:{line_no}: {message}")
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines:
+        return [f"{path}: empty file"], counts
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        return [f"{path}:1: header is not JSON: {e}"], counts
+    if header != {"schema": "trace/1"}:
+        return [f"{path}:1: bad header {header!r}"], counts
+
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line:
+            err(line_no, "blank line")
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            err(line_no, f"not JSON: {e}")
+            continue
+        if not isinstance(event, dict):
+            err(line_no, "event is not an object")
+            continue
+        unknown = set(event) - ALLOWED_KEYS
+        if unknown:
+            err(line_no, f"unknown fields {sorted(unknown)}")
+        for key, types in (("name", str), ("cat", str), ("ph", str),
+                           ("clock", str), ("ts", (int, float)),
+                           ("lane", int)):
+            if key not in event:
+                err(line_no, f"missing field {key!r}")
+            elif not isinstance(event[key], types):
+                err(line_no, f"field {key!r} has wrong type")
+        ph = event.get("ph")
+        if ph not in PHASES:
+            err(line_no, f"bad ph {ph!r}")
+            continue
+        if event.get("clock") not in CLOCKS:
+            err(line_no, f"bad clock {event.get('clock')!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            err(line_no, "args is not an object")
+        counts[ph] += 1
+
+        span = event.get("span", 0)
+        if not isinstance(span, int) or span < 0:
+            err(line_no, f"bad span id {span!r}")
+            continue
+        if span == 0:
+            if ph in ("B", "E"):
+                err(line_no, f"{ph} event without a span id")
+            continue
+        state = spans.get(span)
+        if ph == "B":
+            if state is not None:
+                err(line_no, f"span {span} opened twice")
+            else:
+                spans[span] = {"name": event.get("name"),
+                               "begin_ts": event.get("ts", 0),
+                               "clock": event.get("clock"),
+                               "ended": False}
+                seen_span_names.add(event.get("name"))
+        elif ph == "E":
+            if state is None:
+                err(line_no, f"span {span} ends before it begins")
+            elif state["ended"]:
+                err(line_no, f"span {span} ended twice")
+            else:
+                state["ended"] = True
+                if event.get("name") != state["name"]:
+                    err(line_no,
+                        f"span {span} ends as {event.get('name')!r}, "
+                        f"began as {state['name']!r}")
+                if (event.get("clock") == state["clock"]
+                        and isinstance(event.get("ts"), (int, float))
+                        and event["ts"] < state["begin_ts"]):
+                    err(line_no, f"span {span} ends before its begin ts")
+        else:  # instant referencing a span
+            if state is None:
+                err(line_no, f"instant references unopened span {span}")
+
+    for span, state in sorted(spans.items()):
+        if not state["ended"]:
+            errors.append(f"{path}: span {span} ({state['name']!r}) "
+                          "never ends")
+    for name in require_span:
+        if name not in seen_span_names:
+            errors.append(f"{path}: no span named {name!r} found")
+    return errors, counts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a span named NAME appears "
+                             "(repeatable)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.files:
+        errors, counts = check_file(path, args.require_span)
+        total = counts["B"] + counts["E"] + counts["i"]
+        if errors:
+            failed = True
+            for e in errors[:50]:
+                print(e, file=sys.stderr)
+            if len(errors) > 50:
+                print(f"{path}: ... and {len(errors) - 50} more errors",
+                      file=sys.stderr)
+        elif not args.quiet:
+            print(f"check_trace: {path} ok ({total} events: "
+                  f"{counts['B']} B / {counts['E']} E / {counts['i']} i)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

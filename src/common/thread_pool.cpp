@@ -32,12 +32,20 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+namespace {
+thread_local std::size_t t_current_worker = ThreadPool::no_worker;
+}  // namespace
+
+std::size_t ThreadPool::current_worker() { return t_current_worker; }
+
 void ThreadPool::run_chunks(std::size_t worker_index) {
+  const std::size_t previous_worker = t_current_worker;
+  t_current_worker = worker_index;
   while (true) {
     const std::size_t begin =
         next_.fetch_add(chunk_size_, std::memory_order_relaxed);
     if (begin >= total_) {
-      return;
+      break;
     }
     const std::size_t end = std::min(begin + chunk_size_, total_);
     try {
@@ -52,6 +60,7 @@ void ThreadPool::run_chunks(std::size_t worker_index) {
       }
     }
   }
+  t_current_worker = previous_worker;
 }
 
 void ThreadPool::worker_main(std::size_t worker_index) {
@@ -85,7 +94,15 @@ void ThreadPool::parallel_for(std::size_t total, std::size_t chunk_size,
   chunk_size = std::max<std::size_t>(1, chunk_size);
   if (workers_.empty() || total <= chunk_size) {
     // Single-worker pool or a single chunk: run inline, no synchronization.
-    body(0, total, 0);
+    const std::size_t previous_worker = t_current_worker;
+    t_current_worker = 0;
+    try {
+      body(0, total, 0);
+    } catch (...) {
+      t_current_worker = previous_worker;
+      throw;
+    }
+    t_current_worker = previous_worker;
     return;
   }
   {

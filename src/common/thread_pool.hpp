@@ -50,6 +50,12 @@ class ThreadPool {
   /// Resolves the constructor's `threads` argument the way the pool does.
   static std::size_t resolve_thread_count(std::size_t threads);
 
+  /// The worker index of the pool chunk executing on this thread, or
+  /// `no_worker` outside of one. Lets instrumentation deep inside a chunk
+  /// body find its lane without plumbing the index through every call.
+  static constexpr std::size_t no_worker = static_cast<std::size_t>(-1);
+  static std::size_t current_worker();
+
  private:
   void worker_main(std::size_t worker_index);
   void run_chunks(std::size_t worker_index);

@@ -7,6 +7,7 @@
 #include "core/distance.hpp"
 #include "core/routers.hpp"
 #include "core/routing_table.hpp"
+#include "obs/trace.hpp"
 
 namespace dbn {
 
@@ -53,6 +54,11 @@ BatchRouteEngine::BatchRouteEngine(std::uint32_t d, std::size_t k,
       shards_.push_back(std::move(shard));
     }
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  metrics_queries_ = registry.counter("batch.queries");
+  metrics_cache_lookups_ = registry.counter("batch.cache_lookups");
+  metrics_cache_hits_ = registry.counter("batch.cache_hits");
+  metrics_batches_ = registry.counter("batch.runs");
 }
 
 BatchRouteEngine::~BatchRouteEngine() = default;
@@ -160,11 +166,34 @@ void BatchRouteEngine::route_batch_into(const std::vector<RouteQuery>& queries,
   out.resize(queries.size());
   cache_lookups_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
+  // When a sink is registered each chunk runs on its worker's lane and is
+  // bracketed by a wall-clock span, making the pool's parallelism visible
+  // as per-worker tracks in the Chrome export. When off: one branch.
+  const bool traced = obs::tracing_enabled();
+  obs::Span batch_span;
+  if (traced) {
+    batch_span = obs::Span::begin("route_batch", "batch",
+                                  obs::TraceClock::Wall, obs::wall_ts_micros());
+    batch_span.arg(obs::targ("backend", batch_backend_name(options_.backend)))
+        .arg(obs::targ("queries", static_cast<std::uint64_t>(queries.size())))
+        .arg(obs::targ("threads",
+                       static_cast<std::uint64_t>(pool_->thread_count())));
+  }
   pool_->parallel_for(
       queries.size(), options_.chunk,
-      [this, &queries, &out](std::size_t begin, std::size_t end,
-                             std::size_t worker) {
+      [this, traced, &queries, &out](std::size_t begin, std::size_t end,
+                                     std::size_t worker) {
         Scratch& scratch = *scratch_[worker];
+        obs::Span chunk_span;
+        std::unique_ptr<obs::LaneScope> lane;
+        if (traced) {
+          lane = std::make_unique<obs::LaneScope>(worker);
+          chunk_span = obs::Span::begin("chunk", "batch", obs::TraceClock::Wall,
+                                        obs::wall_ts_micros());
+          chunk_span.arg(obs::targ("begin", static_cast<std::uint64_t>(begin)))
+              .arg(obs::targ("end", static_cast<std::uint64_t>(end)))
+              .arg(obs::targ("worker", static_cast<std::uint64_t>(worker)));
+        }
         for (std::size_t i = begin; i < end; ++i) {
           const RouteQuery& query = queries[i];
           validate(query);
@@ -179,11 +208,21 @@ void BatchRouteEngine::route_batch_into(const std::vector<RouteQuery>& queries,
             compute_route(query, scratch, out[i]);
           }
         }
+        if (chunk_span) {
+          chunk_span.end(obs::wall_ts_micros());
+        }
       });
+  if (batch_span) {
+    batch_span.end(obs::wall_ts_micros());
+  }
   stats_ = BatchStats{queries.size(),
                       cache_lookups_.load(std::memory_order_relaxed),
                       cache_hits_.load(std::memory_order_relaxed),
                       pool_->thread_count()};
+  metrics_batches_.inc();
+  metrics_queries_.inc(stats_.queries);
+  metrics_cache_lookups_.inc(stats_.cache_lookups);
+  metrics_cache_hits_.inc(stats_.cache_hits);
 }
 
 std::vector<RoutingPath> BatchRouteEngine::route_batch(
@@ -207,6 +246,8 @@ std::vector<int> BatchRouteEngine::distance_batch(
         }
       });
   stats_ = BatchStats{queries.size(), 0, 0, pool_->thread_count()};
+  metrics_batches_.inc();
+  metrics_queries_.inc(stats_.queries);
   return out;
 }
 

@@ -40,6 +40,7 @@
 #include "core/route_engine.hpp"
 #include "debruijn/graph.hpp"
 #include "debruijn/word.hpp"
+#include "obs/metrics.hpp"
 
 namespace dbn {
 
@@ -163,6 +164,12 @@ class BatchRouteEngine {
   std::atomic<std::size_t> cache_lookups_{0};
   std::atomic<std::size_t> cache_hits_{0};
   BatchStats stats_;
+  // Mirrors of the batch counters in the global registry (folded in once
+  // per batch, not per query, to keep the hot loop untouched).
+  obs::Counter metrics_queries_;
+  obs::Counter metrics_cache_lookups_;
+  obs::Counter metrics_cache_hits_;
+  obs::Counter metrics_batches_;
 };
 
 }  // namespace dbn

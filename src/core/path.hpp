@@ -51,6 +51,8 @@ class RoutingPath {
   const Hop& hop(std::size_t i) const;
   const std::vector<Hop>& hops() const { return hops_; }
   void push(Hop hop) { hops_.push_back(hop); }
+  /// Removes all hops but keeps the storage (route_into reuses it).
+  void clear() { hops_.clear(); }
 
   bool has_wildcards() const;
 

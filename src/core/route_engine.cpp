@@ -1,6 +1,8 @@
 #include "core/route_engine.hpp"
 
 #include "common/contract.hpp"
+#include "core/route_trace.hpp"
+#include "obs/trace.hpp"
 
 namespace dbn {
 
@@ -88,7 +90,7 @@ void BidirectionalRouteEngine::route_into(const Word& x, const Word& y,
       static_cast<int>(k), min_l_cost_inplace(xr_, yr_, k));
   const BidiPlan plan = make_bidi_plan(static_cast<int>(k), l_side, r_side);
   // Emit hops directly (same shapes as build_bidi_path, minus allocation).
-  out = RoutingPath{};
+  out.clear();
   const Digit arbitrary = (mode == WildcardMode::Wildcards) ? kWildcard : 0;
   const auto yd = [&y](int i) {
     return y.digit(static_cast<std::size_t>(i - 1));
@@ -131,6 +133,9 @@ void BidirectionalRouteEngine::route_into(const Word& x, const Word& y,
   }
   DBN_ASSERT(static_cast<int>(out.length()) == plan.distance,
              "constructed path length must equal the planned distance");
+  if (obs::tracing_enabled()) {
+    trace_bidi_route("bidi-engine", x, y, plan, out);
+  }
 }
 
 }  // namespace dbn

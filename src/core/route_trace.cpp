@@ -1,0 +1,142 @@
+#include "core/route_trace.hpp"
+
+#include <array>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace dbn {
+
+namespace {
+
+using obs::targ;
+
+std::string digit_string(Digit digit) {
+  return digit == kWildcard ? std::string("*") : std::to_string(digit);
+}
+
+struct Block {
+  std::string role;  // e.g. "L^(s-1)"
+  int length = 0;
+};
+
+/// The three-block decomposition of `plan` (empty blocks kept so the role
+/// strings always line up with the paper's formula).
+std::array<Block, 3> plan_blocks(int k, const BidiPlan& plan) {
+  switch (plan.shape) {
+    case BidiPlan::Shape::Trivial:
+      return {Block{"L^k", k}, Block{}, Block{}};
+    case BidiPlan::Shape::LeftBlock:
+      return {Block{"L^(s-1)", plan.s - 1}, Block{"R^(k-theta)", k - plan.theta},
+              Block{"L^(k-t)", k - plan.t}};
+    case BidiPlan::Shape::RightBlock:
+      return {Block{"R^(k-s)", k - plan.s}, Block{"L^(k-theta)", k - plan.theta},
+              Block{"R^(t-1)", plan.t - 1}};
+  }
+  return {};
+}
+
+const char* shape_name(BidiPlan::Shape shape) {
+  switch (shape) {
+    case BidiPlan::Shape::Trivial:
+      return "trivial";
+    case BidiPlan::Shape::LeftBlock:
+      return "left-block";
+    case BidiPlan::Shape::RightBlock:
+      return "right-block";
+  }
+  return "?";
+}
+
+void emit_hops(obs::Span& span, const RoutingPath& path,
+               const std::array<Block, 3>& blocks) {
+  std::size_t block_index = 0;
+  int remaining = blocks[0].length;
+  for (std::size_t i = 0; i < path.hops().size(); ++i) {
+    while (remaining == 0 && block_index + 1 < blocks.size()) {
+      ++block_index;
+      remaining = blocks[block_index].length;
+    }
+    const Hop& hop = path.hops()[i];
+    span.instant(
+        "hop", static_cast<double>(i),
+        {targ("shift", hop.type == ShiftType::Left ? "L" : "R"),
+         targ("digit", digit_string(hop.digit)),
+         targ("block", static_cast<std::uint64_t>(block_index + 1)),
+         targ("role", blocks[block_index].role)});
+    if (remaining > 0) {
+      --remaining;
+    }
+  }
+}
+
+}  // namespace
+
+void trace_bidi_route(std::string_view algo, const Word& x, const Word& y,
+                      const BidiPlan& plan, const RoutingPath& path) {
+  const int k = static_cast<int>(x.length());
+  obs::Span span = obs::Span::begin("route", "route", obs::TraceClock::Logical,
+                                    0.0);
+  if (!span) {
+    return;
+  }
+  span.arg(targ("algo", algo))
+      .arg(targ("x", x.to_string()))
+      .arg(targ("y", y.to_string()))
+      .arg(targ("k", k))
+      .arg(targ("shape", shape_name(plan.shape)))
+      .arg(targ("distance", plan.distance));
+  if (plan.shape != BidiPlan::Shape::Trivial) {
+    const char* witness_fn =
+        plan.shape == BidiPlan::Shape::LeftBlock ? "l" : "r";
+    span.arg(targ("s", plan.s))
+        .arg(targ("t", plan.t))
+        .arg(targ("theta", plan.theta))
+        .arg(targ("witness", std::string(witness_fn) + "[" +
+                                 std::to_string(plan.s) + "," +
+                                 std::to_string(plan.t) +
+                                 "]=" + std::to_string(plan.theta)));
+  }
+  const std::array<Block, 3> blocks = plan_blocks(k, plan);
+  std::string shape_str;
+  for (const Block& block : blocks) {
+    if (block.length > 0) {
+      if (!shape_str.empty()) {
+        shape_str += " ";
+      }
+      shape_str += block.role + "{" + std::to_string(block.length) + "}";
+    }
+  }
+  span.arg(targ("blocks", shape_str));
+  emit_hops(span, path, blocks);
+  span.end(static_cast<double>(path.length()));
+}
+
+void trace_uni_route(const Word& x, const Word& y, int overlap,
+                     const RoutingPath& path) {
+  obs::Span span = obs::Span::begin("route", "route", obs::TraceClock::Logical,
+                                    0.0);
+  if (!span) {
+    return;
+  }
+  span.arg(targ("algo", "alg1-directed"))
+      .arg(targ("x", x.to_string()))
+      .arg(targ("y", y.to_string()))
+      .arg(targ("k", static_cast<int>(x.length())))
+      .arg(targ("shape", "left-only"))
+      .arg(targ("distance", static_cast<std::uint64_t>(path.length())))
+      .arg(targ("overlap", overlap))
+      .arg(targ("blocks",
+                "L^(k-l){" + std::to_string(path.length()) + "}"));
+  for (std::size_t i = 0; i < path.hops().size(); ++i) {
+    const Hop& hop = path.hops()[i];
+    span.instant("hop", static_cast<double>(i),
+                 {targ("shift", hop.type == ShiftType::Left ? "L" : "R"),
+                  targ("digit", digit_string(hop.digit)),
+                  targ("block", std::uint64_t{1}),
+                  targ("role", "L^(k-l)")});
+  }
+  span.end(static_cast<double>(path.length()));
+}
+
+}  // namespace dbn

@@ -1,0 +1,30 @@
+// Route-span emission: turns a computed bi-directional (or Algorithm 1)
+// route into one obs::Span whose child events — one per hop — carry the
+// shift kind, the inserted digit, and the paper's block segmentation, so a
+// trace visibly decomposes into Theorem 2's three blocks
+//   LeftBlock:  L^(s-1) R^(k-θ) L^(k-t)   (witness l_{s,t} = θ)
+//   RightBlock: R^(k-s) L^(k-θ) R^(t-1)   (witness r_{s,t} = θ)
+// or the trivial L^k path. Callers guard with obs::tracing_enabled() so the
+// routing hot path pays one branch when tracing is off.
+#pragma once
+
+#include <string_view>
+
+#include "core/path.hpp"
+#include "core/path_builder.hpp"
+#include "debruijn/word.hpp"
+
+namespace dbn {
+
+/// Emits the span for a route produced from `plan` (Logical clock: ts is the
+/// hop index). `algo` names the producing router ("bidi-engine",
+/// "bidi-mp", "bidi-suffix-tree", "bidi-suffix-automaton", ...).
+void trace_bidi_route(std::string_view algo, const Word& x, const Word& y,
+                      const BidiPlan& plan, const RoutingPath& path);
+
+/// Same for Algorithm 1's left-shift-only route; `overlap` is the
+/// suffix-prefix overlap l that the route skips.
+void trace_uni_route(const Word& x, const Word& y, int overlap,
+                     const RoutingPath& path);
+
+}  // namespace dbn

@@ -2,6 +2,8 @@
 
 #include "common/contract.hpp"
 #include "core/common_substring.hpp"
+#include "core/route_trace.hpp"
+#include "obs/trace.hpp"
 #include "strings/failure.hpp"
 #include "strings/matching.hpp"
 #include "strings/suffix_automaton.hpp"
@@ -19,7 +21,8 @@ using SideMinFn = strings::OverlapMin (*)(strings::SymbolView,
                                           strings::SymbolView);
 
 RoutingPath route_bidirectional(const Word& x, const Word& y,
-                                WildcardMode mode, SideMinFn side_min) {
+                                WildcardMode mode, SideMinFn side_min,
+                                const char* algo) {
   check_endpoints(x, y);
   const int k = static_cast<int>(x.length());
   const Word xr = x.reversed();
@@ -28,7 +31,11 @@ RoutingPath route_bidirectional(const Word& x, const Word& y,
   const strings::OverlapMin r_side =
       r_side_from_reversed(k, side_min(xr.symbols(), yr.symbols()));
   const BidiPlan plan = make_bidi_plan(k, l_side, r_side);
-  return build_bidi_path(x, y, plan, mode);
+  RoutingPath path = build_bidi_path(x, y, plan, mode);
+  if (obs::tracing_enabled()) {
+    trace_bidi_route(algo, x, y, plan, path);
+  }
+  return path;
 }
 
 }  // namespace
@@ -43,23 +50,27 @@ RoutingPath route_unidirectional(const Word& x, const Word& y) {
   for (std::size_t i = static_cast<std::size_t>(l); i < y.length(); ++i) {
     path.push({ShiftType::Left, y.digit(i)});
   }
+  if (obs::tracing_enabled()) {
+    trace_uni_route(x, y, l, path);
+  }
   return path;
 }
 
 RoutingPath route_bidirectional_mp(const Word& x, const Word& y,
                                    WildcardMode mode) {
-  return route_bidirectional(x, y, mode, &strings::min_l_cost);
+  return route_bidirectional(x, y, mode, &strings::min_l_cost, "bidi-mp");
 }
 
 RoutingPath route_bidirectional_suffix_tree(const Word& x, const Word& y,
                                             WildcardMode mode) {
-  return route_bidirectional(x, y, mode, &min_l_cost_suffix_tree);
+  return route_bidirectional(x, y, mode, &min_l_cost_suffix_tree,
+                             "bidi-suffix-tree");
 }
 
 RoutingPath route_bidirectional_suffix_automaton(const Word& x, const Word& y,
                                                  WildcardMode mode) {
-  return route_bidirectional(x, y, mode,
-                             &strings::min_l_cost_suffix_automaton);
+  return route_bidirectional(x, y, mode, &strings::min_l_cost_suffix_automaton,
+                             "bidi-suffix-automaton");
 }
 
 }  // namespace dbn

@@ -4,6 +4,7 @@
 
 #include "common/contract.hpp"
 #include "core/distance.hpp"
+#include "obs/trace.hpp"
 
 namespace dbn::net {
 
@@ -27,10 +28,23 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
                       ? config.ttl
                       : std::max(4 * static_cast<int>(graph.k()), 8);
   AdaptiveResult result;
+  obs::Span span;
+  if (obs::tracing_enabled()) {
+    span = obs::Span::begin("adaptive_route", "adaptive",
+                            obs::TraceClock::Logical, 0.0);
+    span.arg(obs::targ("x", x.to_string()))
+        .arg(obs::targ("y", y.to_string()))
+        .arg(obs::targ("ttl", ttl));
+  }
   Word at = x;
   std::uint64_t previous = graph.vertex_count();  // sentinel: no previous
   while (!(at == y)) {
     if (result.hops >= ttl) {
+      if (span) {
+        span.arg(obs::targ("delivered", "false"))
+            .arg(obs::targ("reason", "ttl"));
+        span.end(static_cast<double>(result.hops));
+      }
       return result;  // undelivered
     }
     const int here = undirected_distance(at, y);
@@ -65,6 +79,11 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
     bool deflected = false;
     if (pool->empty()) {
       if (backward.empty()) {
+        if (span) {
+          span.arg(obs::targ("delivered", "false"))
+              .arg(obs::targ("reason", "stuck"));
+          span.end(static_cast<double>(result.hops));
+        }
         return result;  // stuck: every live neighbor is dead or none exist
       }
       // Deflect: retreat along the best distance layer, but never straight
@@ -87,9 +106,22 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
     at = (*pool)[rng.below(pool->size())];
     ++result.hops;
     result.deflections += deflected;
-    result.sideways_moves += !deflected && pool == &sideways;
+    const bool moved_sideways = !deflected && pool == &sideways;
+    result.sideways_moves += moved_sideways;
+    if (span) {
+      span.instant("hop", static_cast<double>(result.hops - 1),
+                   {obs::targ("to", at.to_string()),
+                    obs::targ("move", deflected        ? "deflect"
+                              : moved_sideways ? "sideways"
+                                               : "improve"),
+                    obs::targ("dist", here)});
+    }
   }
   result.delivered = true;
+  if (span) {
+    span.arg(obs::targ("delivered", "true"));
+    span.end(static_cast<double>(result.hops));
+  }
   return result;
 }
 

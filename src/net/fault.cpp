@@ -8,6 +8,20 @@
 
 namespace dbn::net {
 
+const char* fault_event_kind_name(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::SiteCrash:
+      return "site.crash";
+    case FaultEventKind::SiteRecover:
+      return "site.recover";
+    case FaultEventKind::LinkCrash:
+      return "link.crash";
+    case FaultEventKind::LinkRecover:
+      return "link.recover";
+  }
+  return "?";
+}
+
 void FaultSchedule::add(const FaultEvent& event) {
   DBN_REQUIRE(event.time >= 0.0, "fault events cannot predate the run");
   if (!events_.empty() && sorted_ && event.time < events_.back().time) {

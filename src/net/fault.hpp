@@ -25,6 +25,10 @@ enum class FaultEventKind : std::uint8_t {
   LinkRecover,
 };
 
+/// "site.crash", "site.recover", "link.crash", "link.recover" (the event
+/// names used by the trace event log).
+const char* fault_event_kind_name(FaultEventKind kind);
+
 struct FaultEvent {
   double time = 0.0;
   FaultEventKind kind = FaultEventKind::SiteCrash;

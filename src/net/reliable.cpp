@@ -5,30 +5,103 @@
 
 #include "common/contract.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace dbn::net {
 
 namespace {
 
-std::vector<std::uint8_t> encode_transfer_id(std::uint64_t id) {
+// Protocol payload: 8 bytes little-endian carrying the transfer id in the
+// low 48 bits and the attempt index in the high 16, so the delivery/drop
+// hooks can attribute every outcome to the exact attempt that earned it.
+constexpr std::uint64_t kIdBits = 48;
+constexpr std::uint64_t kIdMask = (1ull << kIdBits) - 1;
+
+std::vector<std::uint8_t> encode_attempt_tag(std::uint64_t id, int attempt) {
+  DBN_ASSERT(id <= kIdMask, "transfer id exceeds the 48-bit payload field");
+  const std::uint64_t tag =
+      id | (static_cast<std::uint64_t>(attempt) << kIdBits);
   std::vector<std::uint8_t> payload(8);
   for (int b = 0; b < 8; ++b) {
     payload[static_cast<std::size_t>(b)] =
-        static_cast<std::uint8_t>(id >> (8 * b));
+        static_cast<std::uint8_t>(tag >> (8 * b));
   }
   return payload;
 }
 
-std::uint64_t decode_transfer_id(const std::vector<std::uint8_t>& payload) {
-  DBN_ASSERT(payload.size() == 8, "reliable payload carries the transfer id");
+struct AttemptTag {
   std::uint64_t id = 0;
+  int attempt = 0;
+};
+
+AttemptTag decode_attempt_tag(const std::vector<std::uint8_t>& payload) {
+  DBN_ASSERT(payload.size() == 8, "reliable payload carries the attempt tag");
+  std::uint64_t tag = 0;
   for (int b = 7; b >= 0; --b) {
-    id = (id << 8) | payload[static_cast<std::size_t>(b)];
+    tag = (tag << 8) | payload[static_cast<std::size_t>(b)];
   }
-  return id;
+  return AttemptTag{tag & kIdMask, static_cast<int>(tag >> kIdBits)};
+}
+
+AttemptOutcome outcome_from_drop(DropReason reason) {
+  switch (reason) {
+    case DropReason::Fault:
+      return AttemptOutcome::DroppedFault;
+    case DropReason::Link:
+      return AttemptOutcome::DroppedLink;
+    case DropReason::Overflow:
+      return AttemptOutcome::DroppedOverflow;
+    case DropReason::Misdelivered:
+      return AttemptOutcome::Misdelivered;
+  }
+  return AttemptOutcome::Pending;
+}
+
+/// Sim-clock instant in the "reliable" category.
+void reliable_event(const char* name, double time, std::uint64_t lane,
+                    std::vector<obs::TraceArg> args) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = "reliable";
+  event.phase = obs::TracePhase::Instant;
+  event.clock = obs::TraceClock::Sim;
+  event.ts = time;
+  event.lane = lane;
+  event.args = std::move(args);
+  obs::emit(std::move(event));
 }
 
 }  // namespace
+
+const char* attempt_cause_name(AttemptCause cause) {
+  switch (cause) {
+    case AttemptCause::Initial:
+      return "initial";
+    case AttemptCause::Timeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+const char* attempt_outcome_name(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::Pending:
+      return "pending";
+    case AttemptOutcome::Delivered:
+      return "delivered";
+    case AttemptOutcome::Duplicate:
+      return "duplicate";
+    case AttemptOutcome::DroppedFault:
+      return "dropped_fault";
+    case AttemptOutcome::DroppedLink:
+      return "dropped_link";
+    case AttemptOutcome::DroppedOverflow:
+      return "dropped_overflow";
+    case AttemptOutcome::Misdelivered:
+      return "misdelivered";
+  }
+  return "?";
+}
 
 ReliableReport run_reliable(Simulator& sim,
                             const std::vector<Transfer>& transfers,
@@ -43,6 +116,7 @@ ReliableReport run_reliable(Simulator& sim,
   const std::uint32_t d = sim.config().radix;
   const std::size_t k = sim.config().k;
   const std::size_t n = transfers.size();
+  DBN_REQUIRE(n <= kIdMask, "too many transfers for the 48-bit id field");
 
   ReliableReport report;
   report.transfers = n;
@@ -53,31 +127,83 @@ ReliableReport run_reliable(Simulator& sim,
   std::vector<int> attempts(n, 0);
   // Per-transfer retransmission clock: when the next attempt fires.
   std::vector<double> deadline(n, sim.now());
+  std::vector<double> last_sent(n, 0.0);
   // Per-transfer jitter streams: forked once, drawn per attempt, so the
   // sequence a transfer sees never depends on other transfers.
   const Rng jitter_base(config.jitter_seed);
+
+  // Resolves attempt `tag` of a recorded trace, first writer wins (a copy
+  // resolves exactly once: it is either delivered, deduplicated, or
+  // dropped).
+  const auto resolve_attempt = [&](const AttemptTag& tag,
+                                   AttemptOutcome outcome, double time) {
+    if (!config.record_attempts) {
+      return;
+    }
+    auto& trace = report.traces[tag.id];
+    if (tag.attempt >= static_cast<int>(trace.attempts.size())) {
+      return;
+    }
+    AttemptRecord& record =
+        trace.attempts[static_cast<std::size_t>(tag.attempt)];
+    if (record.outcome == AttemptOutcome::Pending) {
+      record.outcome = outcome;
+      record.resolved_at = time;
+    }
+  };
 
   sim.set_delivery_hook([&](const Message& message, double time) {
     if (message.payload.size() != 8) {
       return;  // not one of ours
     }
-    const std::uint64_t id = decode_transfer_id(message.payload);
-    if (id >= n) {
+    const AttemptTag tag = decode_attempt_tag(message.payload);
+    if (tag.id >= n) {
       return;
     }
-    if (!done[id]) {
-      done[id] = true;
+    if (!done[tag.id]) {
+      done[tag.id] = true;
       ++report.completed;
       report.completion_time = std::max(report.completion_time, time);
       if (config.record_attempts) {
-        report.traces[id].completed = true;
-        report.traces[id].completed_at = time;
+        report.traces[tag.id].completed = true;
+        report.traces[tag.id].completed_at = time;
+        report.traces[tag.id].delivered_attempt = tag.attempt;
+      }
+      resolve_attempt(tag, AttemptOutcome::Delivered, time);
+      if (obs::tracing_enabled()) {
+        reliable_event("complete", time, message.destination.rank(),
+                       {obs::targ("transfer", tag.id),
+                        obs::targ("attempt", tag.attempt)});
       }
     } else {
       ++report.duplicate_deliveries;  // deduplicated late copy
+      resolve_attempt(tag, AttemptOutcome::Duplicate, time);
+      if (obs::tracing_enabled()) {
+        reliable_event("duplicate", time, message.destination.rank(),
+                       {obs::targ("transfer", tag.id),
+                        obs::targ("attempt", tag.attempt)});
+      }
     }
     if (config.on_delivery) {
       config.on_delivery(message, time);
+    }
+  });
+
+  sim.set_drop_hook([&](const Message& message, double time, DropReason reason,
+                        std::uint64_t at) {
+    if (message.payload.size() != 8) {
+      return;
+    }
+    const AttemptTag tag = decode_attempt_tag(message.payload);
+    if (tag.id >= n) {
+      return;
+    }
+    resolve_attempt(tag, outcome_from_drop(reason), time);
+    if (obs::tracing_enabled()) {
+      reliable_event("attempt_drop", time, at,
+                     {obs::targ("transfer", tag.id),
+                      obs::targ("attempt", tag.attempt),
+                      obs::targ("reason", drop_reason_name(reason))});
     }
   });
 
@@ -121,21 +247,44 @@ ReliableReport run_reliable(Simulator& sim,
       const Word dst = Word::from_rank(d, k, transfers[id].destination);
       sim.inject(next, Message(ControlCode::Data, src, dst,
                                route(src, dst, attempt),
-                               encode_transfer_id(id)));
+                               encode_attempt_tag(id, attempt)));
+      const AttemptCause cause =
+          attempt == 0 ? AttemptCause::Initial : AttemptCause::Timeout;
+      const double backoff_delay = attempt == 0 ? 0.0 : next - last_sent[id];
       if (config.record_attempts) {
-        report.traces[id].attempts.push_back(
-            AttemptRecord{attempt, next, window});
+        AttemptRecord record;
+        record.attempt = attempt;
+        record.sent_at = next;
+        record.window = window;
+        record.backoff_delay = backoff_delay;
+        record.cause = cause;
+        report.traces[id].attempts.push_back(record);
       }
+      if (obs::tracing_enabled()) {
+        reliable_event("attempt", next, transfers[id].source,
+                       {obs::targ("transfer", static_cast<std::uint64_t>(id)),
+                        obs::targ("attempt", attempt),
+                        obs::targ("cause", attempt_cause_name(cause)),
+                        obs::targ("window", window),
+                        obs::targ("backoff_delay", backoff_delay)});
+      }
+      last_sent[id] = next;
       deadline[id] = next + window;
       ++attempts[id];
     }
   }
   sim.run();  // drain whatever is still in flight
   sim.set_delivery_hook(nullptr);
+  sim.set_drop_hook(nullptr);
 
   for (std::size_t id = 0; id < n; ++id) {
     if (!done[id]) {
       ++report.abandoned;
+      if (obs::tracing_enabled()) {
+        reliable_event("abandon", sim.now(), transfers[id].source,
+                       {obs::targ("transfer", static_cast<std::uint64_t>(id)),
+                        obs::targ("attempts", attempts[id])});
+      }
     }
   }
   return report;

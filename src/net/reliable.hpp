@@ -49,17 +49,47 @@ struct ReliableConfig {
   std::function<void(const Message&, double time)> on_delivery;
 };
 
+/// Why an attempt fired.
+enum class AttemptCause : std::uint8_t {
+  Initial,  // the transfer's first send
+  Timeout,  // the previous attempt's window expired
+};
+
+/// How an attempt resolved. Each protocol copy carries (transfer id,
+/// attempt index) in its payload, so the simulator's delivery and drop
+/// hooks attribute every outcome to the exact attempt that suffered it —
+/// not just success/failure per transfer.
+enum class AttemptOutcome : std::uint8_t {
+  Pending,          // unresolved when the run drained (still queued/aborted)
+  Delivered,        // the copy that completed the transfer
+  Duplicate,        // landed after another copy had already completed it
+  DroppedFault,     // hit a failed site
+  DroppedLink,      // crossed a failed link
+  DroppedOverflow,  // link queue over capacity
+  Misdelivered,     // path exhausted at a wrong site
+};
+
+const char* attempt_cause_name(AttemptCause cause);
+const char* attempt_outcome_name(AttemptOutcome outcome);
+
 /// One send of one transfer.
 struct AttemptRecord {
   int attempt = 0;      // 0-based
   double sent_at = 0.0;
   double window = 0.0;  // timeout armed for this attempt (backoff + jitter)
+  /// Time actually waited since the previous attempt's send (the realized
+  /// backoff, jitter included); 0 for the first attempt.
+  double backoff_delay = 0.0;
+  AttemptCause cause = AttemptCause::Initial;
+  AttemptOutcome outcome = AttemptOutcome::Pending;
+  double resolved_at = 0.0;  // when the outcome landed; 0 while Pending
 };
 
 struct TransferTrace {
   std::vector<AttemptRecord> attempts;
   bool completed = false;
   double completed_at = 0.0;  // first delivery; meaningless unless completed
+  int delivered_attempt = -1;  // attempt index that completed it; -1 = none
 };
 
 struct ReliableReport {

@@ -5,11 +5,42 @@
 
 #include "common/contract.hpp"
 #include "core/hop_by_hop.hpp"
+#include "obs/trace.hpp"
 
 namespace dbn::net {
 
 namespace {
 constexpr std::uint64_t kMaxSimVertices = 1ull << 26;
+
+/// Sim-clock instant on the given site's lane (events carry the site rank
+/// as their lane so Perfetto shows per-site activity tracks).
+void sim_event(const char* name, double time, std::uint64_t site,
+               std::vector<obs::TraceArg> args) {
+  obs::TraceEvent event;
+  event.name = name;
+  event.category = "sim";
+  event.phase = obs::TracePhase::Instant;
+  event.clock = obs::TraceClock::Sim;
+  event.ts = time;
+  event.lane = site;
+  event.args = std::move(args);
+  obs::emit(std::move(event));
+}
+
+}  // namespace
+
+const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::Fault:
+      return "fault";
+    case DropReason::Link:
+      return "link";
+    case DropReason::Overflow:
+      return "overflow";
+    case DropReason::Misdelivered:
+      return "misdelivered";
+  }
+  return "?";
 }
 
 double SimStats::latency_percentile(double p) const {
@@ -98,6 +129,14 @@ void Simulator::apply_faults_until(double time) {
         failed_links_.erase(event.a * graph_.vertex_count() + event.b);
         break;
     }
+    if (obs::tracing_enabled()) {
+      const bool is_site = event.kind == FaultEventKind::SiteCrash ||
+                           event.kind == FaultEventKind::SiteRecover;
+      sim_event("fault", event.time, event.a,
+                {obs::targ("kind", fault_event_kind_name(event.kind)),
+                 obs::targ("a", event.a),
+                 obs::targ("b", is_site ? std::uint64_t{0} : event.b)});
+    }
     ++stats_.fault_events_applied;
     ++schedule_cursor_;
   }
@@ -109,6 +148,13 @@ void Simulator::inject(double time, Message message) {
                   message.source.length() == config_.k,
               "message does not fit this network");
   const std::uint64_t source_rank = message.source.rank();
+  if (obs::tracing_enabled()) {
+    sim_event("inject", time, source_rank,
+              {obs::targ("src", source_rank),
+               obs::targ("dst", message.destination.rank()),
+               obs::targ("path_len",
+                         static_cast<std::uint64_t>(message.path.length()))});
+  }
   flights_.push_back(
       InFlight{std::move(message), time, /*cursor=*/0, source_rank});
   if (config_.record_traces) {
@@ -204,11 +250,49 @@ void Simulator::deliver(InFlight& flight) {
   stats_.total_latency += latency;
   stats_.max_latency = std::max(stats_.max_latency, latency);
   stats_.latencies.push_back(latency);
+  stats_.hop_counts.push_back(flight.cursor);
+  if (obs::tracing_enabled()) {
+    sim_event("deliver", now_, flight.at,
+              {obs::targ("src", flight.message.source.rank()),
+               obs::targ("dst", flight.message.destination.rank()),
+               obs::targ("latency", latency),
+               obs::targ("hops", static_cast<std::uint64_t>(flight.cursor))});
+  }
   if (delivery_hook_) {
     // The hook may call inject(), which can reallocate flights_ and
     // invalidate references into it — hand it a stable copy.
     const Message delivered_message = flight.message;
     delivery_hook_(delivered_message, now_);
+  }
+}
+
+void Simulator::drop(std::size_t flight_index, DropReason reason,
+                     std::uint64_t at) {
+  switch (reason) {
+    case DropReason::Fault:
+      ++stats_.dropped_fault;
+      break;
+    case DropReason::Link:
+      ++stats_.dropped_link;
+      break;
+    case DropReason::Overflow:
+      ++stats_.dropped_overflow;
+      break;
+    case DropReason::Misdelivered:
+      ++stats_.misdelivered;
+      break;
+  }
+  const InFlight& flight = flights_[flight_index];
+  if (obs::tracing_enabled()) {
+    sim_event("drop", now_, at,
+              {obs::targ("reason", drop_reason_name(reason)),
+               obs::targ("src", flight.message.source.rank()),
+               obs::targ("dst", flight.message.destination.rank())});
+  }
+  if (drop_hook_) {
+    // Same re-entrancy caveat as deliver(): the hook may inject().
+    const Message dropped_message = flight.message;
+    drop_hook_(dropped_message, now_, reason, at);
   }
 }
 
@@ -219,7 +303,7 @@ void Simulator::arrive(std::size_t flight_index) {
     traces_[flight_index].visits.emplace_back(now_, at);
   }
   if (failed_[at]) {
-    ++stats_.dropped_fault;
+    drop(flight_index, DropReason::Fault, at);
     return;
   }
   Hop hop;
@@ -230,7 +314,7 @@ void Simulator::arrive(std::size_t flight_index) {
       if (at == flight.message.destination.rank()) {
         deliver(flight);
       } else {
-        ++stats_.misdelivered;
+        drop(flight_index, DropReason::Misdelivered, at);
       }
       return;
     }
@@ -253,20 +337,27 @@ void Simulator::arrive(std::size_t flight_index) {
   const std::uint64_t to = shift_target(at, hop.type, digit);
   ++flight.cursor;
   if (failed_links_.contains(at * graph_.vertex_count() + to)) {
-    ++stats_.dropped_link;
+    drop(flight_index, DropReason::Link, at);
     return;
   }
 
   LinkState& link = links_[at * graph_.vertex_count() + to];
   const std::size_t backlog = queue_length(at, to);
   if (backlog >= config_.link_queue_capacity) {
-    ++stats_.dropped_overflow;
+    drop(flight_index, DropReason::Overflow, at);
     return;
   }
   stats_.max_queue = std::max(stats_.max_queue, backlog + 1);
   ++link.transmissions;
   const double start = std::max(now_, link.next_free);
   link.next_free = start + config_.link_delay;
+  if (obs::tracing_enabled()) {
+    sim_event("send", now_, at,
+              {obs::targ("to", to),
+               obs::targ("shift", hop.type == ShiftType::Left ? "L" : "R"),
+               obs::targ("digit", static_cast<std::uint64_t>(digit)),
+               obs::targ("queue", static_cast<std::uint64_t>(backlog))});
+  }
   flight.at = to;
   schedule(start + config_.link_delay, flight_index);
 }

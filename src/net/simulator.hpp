@@ -56,6 +56,12 @@ struct SimConfig {
   std::uint64_t seed = 1;
 };
 
+/// Why the simulator discarded a message (the drop hook's taxonomy; the
+/// first three mirror the dropped_* counters of SimStats).
+enum class DropReason : std::uint8_t { Fault, Link, Overflow, Misdelivered };
+
+const char* drop_reason_name(DropReason reason);
+
 /// Aggregate results of a run.
 struct SimStats {
   std::uint64_t injected = 0;
@@ -70,6 +76,7 @@ struct SimStats {
   double max_latency = 0.0;
   std::size_t max_queue = 0;  // largest link backlog seen (messages)
   std::vector<double> latencies;  // per delivered message, unsorted
+  std::vector<std::uint64_t> hop_counts;  // per delivered message, unsorted
 
   double mean_latency() const {
     return delivered == 0 ? 0.0 : total_latency / static_cast<double>(delivered);
@@ -137,6 +144,14 @@ class Simulator {
   using DeliveryHook = std::function<void(const Message&, double time)>;
   void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
 
+  /// Invoked from within run() whenever a message is discarded, with the
+  /// reason and the site where it happened. Lets protocols attribute
+  /// failures per attempt (net/reliable.hpp) instead of inferring them
+  /// from aggregate counters. The hook may call inject() re-entrantly.
+  using DropHook = std::function<void(const Message&, double time,
+                                      DropReason reason, std::uint64_t at)>;
+  void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   /// Processes events in time order until the queue is empty or the clock
   /// passes `until`. Returns the final clock value.
   double run(double until = std::numeric_limits<double>::infinity());
@@ -192,6 +207,7 @@ class Simulator {
   void arrive(std::size_t flight_index);
   void apply_faults_until(double time);
   void deliver(InFlight& flight);
+  void drop(std::size_t flight_index, DropReason reason, std::uint64_t at);
   Digit resolve_wildcard(std::uint64_t at, ShiftType type, Rng& rng);
   std::uint64_t shift_target(std::uint64_t at, ShiftType type, Digit digit) const;
   void schedule(double time, std::size_t flight_index);
@@ -209,6 +225,7 @@ class Simulator {
   std::vector<Trace> traces_;
   Rng rng_;
   DeliveryHook delivery_hook_;
+  DropHook drop_hook_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

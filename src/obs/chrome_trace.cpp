@@ -1,0 +1,89 @@
+#include "obs/chrome_trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace dbn::obs {
+
+namespace {
+
+int clock_pid(TraceClock clock) {
+  switch (clock) {
+    case TraceClock::Wall:
+      return 1;
+    case TraceClock::Sim:
+      return 2;
+    case TraceClock::Logical:
+      return 3;
+  }
+  return 0;
+}
+
+void write_event(std::ostream& out, const TraceEvent& event) {
+  out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+      << json_escape(event.category) << "\",\"ph\":\""
+      << trace_phase_name(event.phase) << "\",\"ts\":"
+      << json_number(event.ts) << ",\"pid\":" << clock_pid(event.clock)
+      << ",\"tid\":" << event.lane;
+  if (event.phase == TracePhase::Instant) {
+    out << ",\"s\":\"t\"";  // thread-scoped instant marker
+  }
+  out << ",\"args\":{";
+  bool first = true;
+  if (event.span != 0) {
+    out << "\"span\":" << event.span;
+    first = false;
+  }
+  for (const TraceArg& arg : event.args) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << json_escape(arg.key) << "\":";
+    if (arg.numeric) {
+      out << arg.value;
+    } else {
+      out << "\"" << json_escape(arg.value) << "\"";
+    }
+  }
+  out << "}}";
+}
+
+void write_process_name(std::ostream& out, int pid, const char* name) {
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  write_process_name(out, 1, "wall clock");
+  out << ",";
+  write_process_name(out, 2, "simulator clock");
+  out << ",";
+  write_process_name(out, 3, "logical clock");
+  for (const TraceEvent& event : events) {
+    out << ",";
+    write_event(out, event);
+  }
+  out << "]}\n";
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& out) : out_(out) {}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::emit(const TraceEvent& event) { buffer_.emit(event); }
+
+void ChromeTraceSink::flush() {
+  if (flushed_) {
+    return;
+  }
+  flushed_ = true;
+  write_chrome_trace(out_, buffer_.events());
+}
+
+}  // namespace dbn::obs

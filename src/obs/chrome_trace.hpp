@@ -1,0 +1,40 @@
+// Chrome trace_event exporter: serializes TraceEvents as the JSON array
+// format understood by chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Mapping: each clock domain becomes its own "process" (wall=1, sim=2,
+// logical=3) so Perfetto never interleaves incomparable time axes; lanes
+// become threads within that process (ThreadPool worker lanes, simulator
+// site ranks). Span Begin/End map to ph "B"/"E", instants to ph "i" with
+// thread scope. Chrome timestamps are microseconds; sim/logical ticks are
+// exported 1:1 as if they were microseconds.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dbn::obs {
+
+/// Writes the whole trace as one JSON document (displayTimeUnit ms).
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+
+/// A TraceSink that buffers events and writes the Chrome JSON document when
+/// flushed (or destroyed). The caller keeps ownership of `out`, which must
+/// outlive the sink.
+class ChromeTraceSink : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out);
+  ~ChromeTraceSink() override;
+
+  void emit(const TraceEvent& event) override;
+  void flush();
+
+ private:
+  std::ostream& out_;
+  MemoryTraceSink buffer_;
+  bool flushed_ = false;
+};
+
+}  // namespace dbn::obs

@@ -1,0 +1,21 @@
+// Tiny JSON-emission helpers shared by the metrics/trace exporters. The
+// exporters write JSON by hand (no third-party dependency) and need two
+// things done consistently: string escaping and *deterministic* double
+// formatting, so that two identical runs export byte-identical documents.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dbn::obs {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// added). Control characters become \u00XX.
+std::string json_escape(std::string_view text);
+
+/// Shortest decimal rendering that round-trips `value` (tries %.15g, falls
+/// back to %.17g), with "inf"/"nan" never produced: non-finite values are
+/// rendered as 0 (our schemas carry only finite numbers). Deterministic.
+std::string json_number(double value);
+
+}  // namespace dbn::obs

@@ -1,0 +1,389 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "common/table.hpp"
+#include "obs/json.hpp"
+
+namespace dbn::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+/// Portable atomic fetch-add for doubles (std::atomic<double>::fetch_add is
+/// C++20 but spotty in older standard libraries).
+void atomic_add(std::atomic<double>& cell, double delta) {
+  double current = cell.load(std::memory_order_relaxed);
+  while (!cell.compare_exchange_weak(current, current + delta,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Counter:
+      return "counter";
+    case MetricKind::Gauge:
+      return "gauge";
+    case MetricKind::Histogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+double Summary::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Summary::variance() const {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double m = mean();
+  const double v = sum_squares / static_cast<double>(count) - m * m;
+  return v > 0.0 ? v : 0.0;  // clamp the usual catastrophic-cancellation dust
+}
+
+double Summary::coefficient_of_variation() const {
+  const double m = mean();
+  if (count == 0 || m == 0.0) {
+    return 0.0;
+  }
+  return std::sqrt(variance()) / m;
+}
+
+// --- handles ---------------------------------------------------------------
+
+void Counter::inc(std::uint64_t n) {
+  if (registry_ == nullptr) {
+    return;
+  }
+  MetricsRegistry::Shard& shard = registry_->local_shard();
+  if (shard.u64.size() <= u64_offset_) {
+    registry_->ensure_cells(shard);
+  }
+  shard.u64[u64_offset_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t value) {
+  if (cell_ != nullptr) {
+    cell_->store(value, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::add(std::int64_t delta) {
+  if (cell_ != nullptr) {
+    cell_->fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(double value) {
+  if (registry_ == nullptr) {
+    return;
+  }
+  const auto& info = *static_cast<const MetricsRegistry::MetricInfo*>(info_);
+  MetricsRegistry::Shard& shard = registry_->local_shard();
+  if (shard.u64.size() < info.u64_offset + info.u64_cells ||
+      shard.f64.size() < info.f64_offset + info.f64_cells) {
+    registry_->ensure_cells(shard);
+  }
+  // Upper-inclusive buckets: bucket i counts bounds[i-1] < v <= bounds[i];
+  // the last cell is the implicit overflow bucket (v > bounds.back()).
+  const auto it =
+      std::lower_bound(info.bounds.begin(), info.bounds.end(), value);
+  const std::size_t bucket =
+      static_cast<std::size_t>(it - info.bounds.begin());
+  shard.u64[info.u64_offset + bucket].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(shard.f64[info.f64_offset], value);
+}
+
+// --- registry ---------------------------------------------------------------
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const MetricsRegistry::MetricInfo& MetricsRegistry::register_metric(
+    std::string_view name, MetricKind kind, std::vector<double> bounds) {
+  DBN_REQUIRE(!name.empty(), "metric names must be non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    const MetricInfo& existing = metrics_[it->second];
+    DBN_REQUIRE(existing.kind == kind,
+                "metric re-registered with a different kind");
+    DBN_REQUIRE(kind != MetricKind::Histogram || existing.bounds == bounds,
+                "histogram re-registered with different bounds");
+    return existing;
+  }
+  MetricInfo info;
+  info.name = std::string(name);
+  info.kind = kind;
+  info.bounds = std::move(bounds);
+  info.u64_offset = u64_total_.load(std::memory_order_relaxed);
+  info.f64_offset = f64_total_.load(std::memory_order_relaxed);
+  switch (kind) {
+    case MetricKind::Counter:
+      info.u64_cells = 1;
+      break;
+    case MetricKind::Gauge:
+      info.gauge_index = static_cast<std::uint32_t>(gauges_.size());
+      gauges_.emplace_back(0);
+      break;
+    case MetricKind::Histogram:
+      info.u64_cells = static_cast<std::uint32_t>(info.bounds.size()) + 1;
+      info.f64_cells = 1;
+      break;
+  }
+  u64_total_.store(info.u64_offset + info.u64_cells,
+                   std::memory_order_release);
+  f64_total_.store(info.f64_offset + info.f64_cells,
+                   std::memory_order_release);
+  metrics_.push_back(std::move(info));
+  const std::uint32_t id = static_cast<std::uint32_t>(metrics_.size()) - 1;
+  by_name_.emplace(metrics_.back().name, id);
+  return metrics_.back();
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  const MetricInfo& info = register_metric(name, MetricKind::Counter, {});
+  return Counter(this, info.u64_offset);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  const MetricInfo& info = register_metric(name, MetricKind::Gauge, {});
+  return Gauge(&gauges_[info.gauge_index]);
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds) {
+  DBN_REQUIRE(!bounds.empty(), "histograms need at least one bucket bound");
+  DBN_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()) &&
+                  std::adjacent_find(bounds.begin(), bounds.end()) ==
+                      bounds.end(),
+              "histogram bounds must be strictly increasing");
+  const MetricInfo& info =
+      register_metric(name, MetricKind::Histogram, std::move(bounds));
+  return Histogram(this, &info);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  struct ThreadShards {
+    std::uint64_t cached_id = 0;
+    Shard* cached = nullptr;
+    // Shards are shared with the registry so a shard outlives whichever of
+    // thread / registry dies first. Keyed by the registry's unique id, never
+    // its address, so a registry reallocated at the same address cannot pick
+    // up a stale shard.
+    std::unordered_map<std::uint64_t, std::shared_ptr<Shard>> by_registry;
+  };
+  thread_local ThreadShards tls;
+  if (tls.cached_id == registry_id_ && tls.cached != nullptr) {
+    return *tls.cached;
+  }
+  auto it = tls.by_registry.find(registry_id_);
+  if (it == tls.by_registry.end()) {
+    auto shard = std::make_shared<Shard>();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shards_.push_back(shard);
+    }
+    it = tls.by_registry.emplace(registry_id_, std::move(shard)).first;
+  }
+  tls.cached_id = registry_id_;
+  tls.cached = it->second.get();
+  return *tls.cached;
+}
+
+void MetricsRegistry::ensure_cells(Shard& shard) const {
+  // Only the owning thread grows its shard; the lock orders growth against a
+  // concurrent snapshot()/reset() traversal. Deque growth never relocates
+  // existing cells, so lock-free fetch_adds on them stay valid throughout.
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const std::size_t u64_target = u64_total_.load(std::memory_order_acquire);
+  while (shard.u64.size() < u64_target) {
+    shard.u64.emplace_back(0);
+  }
+  const std::size_t f64_target = f64_total_.load(std::memory_order_acquire);
+  while (shard.f64.size() < f64_target) {
+    shard.f64.emplace_back(0.0);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint64_t> u64(u64_total_.load(std::memory_order_relaxed),
+                                 0);
+  std::vector<double> f64(f64_total_.load(std::memory_order_relaxed), 0.0);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const std::size_t nu = std::min(shard->u64.size(), u64.size());
+    for (std::size_t i = 0; i < nu; ++i) {
+      u64[i] += shard->u64[i].load(std::memory_order_relaxed);
+    }
+    const std::size_t nf = std::min(shard->f64.size(), f64.size());
+    for (std::size_t i = 0; i < nf; ++i) {
+      f64[i] += shard->f64[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  MetricsSnapshot out;
+  out.entries.reserve(metrics_.size());
+  for (const MetricInfo& info : metrics_) {
+    MetricSnapshot entry;
+    entry.name = info.name;
+    entry.kind = info.kind;
+    switch (info.kind) {
+      case MetricKind::Counter:
+        entry.count = u64[info.u64_offset];
+        break;
+      case MetricKind::Gauge:
+        entry.value =
+            gauges_[info.gauge_index].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::Histogram: {
+        entry.bounds = info.bounds;
+        entry.buckets.assign(u64.begin() + info.u64_offset,
+                             u64.begin() + info.u64_offset + info.u64_cells);
+        for (std::uint64_t b : entry.buckets) {
+          entry.count += b;
+        }
+        entry.sum = f64[info.f64_offset];
+        break;
+      }
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (auto& cell : shard->u64) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+    for (auto& cell : shard->f64) {
+      cell.store(0.0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& gauge : gauges_) {
+    gauge.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.size();
+}
+
+// --- snapshot export ---------------------------------------------------------
+
+const MetricSnapshot* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSnapshot& entry : entries) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"metrics/1\",\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& entry : entries) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << json_escape(entry.name) << "\",\"kind\":\""
+        << metric_kind_name(entry.kind) << "\"";
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        out << ",\"count\":" << entry.count;
+        break;
+      case MetricKind::Gauge:
+        out << ",\"value\":" << entry.value;
+        break;
+      case MetricKind::Histogram: {
+        out << ",\"count\":" << entry.count
+            << ",\"sum\":" << json_number(entry.sum) << ",\"bounds\":[";
+        for (std::size_t i = 0; i < entry.bounds.size(); ++i) {
+          if (i != 0) {
+            out << ",";
+          }
+          out << json_number(entry.bounds[i]);
+        }
+        out << "],\"buckets\":[";
+        for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+          if (i != 0) {
+            out << ",";
+          }
+          out << entry.buckets[i];
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+void MetricsSnapshot::print(std::ostream& out,
+                            const std::string& caption) const {
+  Table table({"metric", "kind", "value", "detail"});
+  for (const MetricSnapshot& entry : entries) {
+    std::string value;
+    std::string detail;
+    switch (entry.kind) {
+      case MetricKind::Counter:
+        value = std::to_string(entry.count);
+        break;
+      case MetricKind::Gauge:
+        value = std::to_string(entry.value);
+        break;
+      case MetricKind::Histogram: {
+        value = std::to_string(entry.count);
+        std::ostringstream d;
+        d << "mean=" << Table::num(entry.mean(), 3) << " buckets=[";
+        for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+          if (i != 0) {
+            d << " ";
+          }
+          d << entry.buckets[i];
+        }
+        d << "]";
+        detail = d.str();
+        break;
+      }
+    }
+    table.add_row({entry.name, metric_kind_name(entry.kind), std::move(value),
+                   std::move(detail)});
+  }
+  table.print(out, caption);
+}
+
+}  // namespace dbn::obs

@@ -1,0 +1,207 @@
+// MetricsRegistry — named counters, gauges and fixed-bucket histograms for
+// every layer of the stack (schema "metrics/1").
+//
+// Design constraints, in order:
+//   1. The batch engine's workers increment counters from a parallel_for;
+//      they must never contend. Counter/histogram cells therefore live in
+//      lock-free thread-local shards (one per thread per registry) that a
+//      snapshot() merges. An increment is a relaxed atomic fetch_add on a
+//      cell the owning thread already created — no lock, no CAS loop, no
+//      false sharing with other threads' cells.
+//   2. Handles (Counter, Gauge, Histogram) are trivially copyable and
+//      cheap to stash in hot objects; a default-constructed handle is
+//      inert (operations are no-ops), which is how disabled-by-default
+//      instrumentation stays one branch.
+//   3. Snapshots are deterministic: entries sorted by name, doubles
+//      rendered with a fixed format, so two identical runs export
+//      byte-identical JSON.
+//
+// Gauges are registry-global (last set() wins) — merging per-thread
+// "current values" has no meaning. Histogram buckets are upper-inclusive:
+// bucket i counts values v with bounds[i-1] < v <= bounds[i]; one implicit
+// overflow bucket counts v > bounds.back().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dbn::obs {
+
+class MetricsRegistry;
+
+enum class MetricKind : std::uint8_t { Counter, Gauge, Histogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+/// Monotone event count. Default-constructed handles are inert.
+///
+/// Handles carry the shard cell coordinates directly (not a metric id), so
+/// the hot path never indexes the registry's metric table — registration by
+/// other threads can therefore never race an increment.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1);
+  explicit operator bool() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, std::uint32_t u64_offset)
+      : registry_(registry), u64_offset_(u64_offset) {}
+  MetricsRegistry* registry_ = nullptr;
+  std::uint32_t u64_offset_ = 0;
+};
+
+/// Point-in-time value (thread count, queue depth). Not sharded: set()/add()
+/// hit one registry-global atomic whose address is stable for the registry's
+/// lifetime.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value);
+  void add(std::int64_t delta);
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+/// Fixed-bucket distribution (bounds chosen at registration).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value);
+  explicit operator bool() const { return registry_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* registry, const void* info)
+      : registry_(registry), info_(info) {}
+  MetricsRegistry* registry_ = nullptr;
+  const void* info_ = nullptr;  // MetricsRegistry::MetricInfo (stable address)
+};
+
+/// Streaming count/sum/sum-of-squares accumulator; the one place mean,
+/// variance and coefficient of variation are computed (net/load_stats and
+/// the snapshot table both lean on it).
+struct Summary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+
+  void observe(double value) {
+    ++count;
+    sum += value;
+    sum_squares += value * value;
+  }
+  double mean() const;
+  /// Population variance (0 for empty input).
+  double variance() const;
+  /// stddev / mean; 0 for empty or zero-mean input.
+  double coefficient_of_variation() const;
+};
+
+/// One metric's merged state at snapshot time.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::Counter;
+  std::uint64_t count = 0;          // counter value / histogram sample count
+  double sum = 0.0;                 // histogram only
+  std::int64_t value = 0;           // gauge only
+  std::vector<double> bounds;       // histogram only
+  std::vector<std::uint64_t> buckets;  // histogram only: bounds.size() + 1
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// All metrics of one registry, merged across threads, sorted by name.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> entries;
+
+  const MetricSnapshot* find(std::string_view name) const;
+  /// The "metrics/1" JSON document (deterministic byte-for-byte).
+  std::string to_json() const;
+  /// Aligned-text rendering via common/table.
+  void print(std::ostream& out, const std::string& caption = "") const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the built-in instrumentation records into.
+  static MetricsRegistry& global();
+
+  /// Registers (or looks up) a metric. Re-registration with the same name
+  /// must use the same kind (and, for histograms, the same bounds).
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  /// `bounds` must be non-empty and strictly increasing.
+  Histogram histogram(std::string_view name, std::vector<double> bounds);
+
+  /// Merges every thread's shard into one deterministic snapshot. Safe to
+  /// call concurrently with increments (relaxed reads).
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every cell and gauge; registrations survive.
+  void reset();
+
+  std::size_t metric_count() const;
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct MetricInfo {
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    std::uint32_t u64_offset = 0;  // first u64 cell in each shard
+    std::uint32_t u64_cells = 0;
+    std::uint32_t f64_offset = 0;  // first f64 cell in each shard
+    std::uint32_t f64_cells = 0;
+    std::uint32_t gauge_index = 0;
+    std::vector<double> bounds;
+  };
+
+  // Per-thread cell storage. Deques never relocate elements, so the owner
+  // can fetch_add without holding `mutex`; `mutex` only guards growth
+  // (owner) against traversal (snapshot/reset).
+  struct Shard {
+    std::mutex mutex;
+    std::deque<std::atomic<std::uint64_t>> u64;
+    std::deque<std::atomic<double>> f64;
+  };
+
+  Shard& local_shard();
+  void ensure_cells(Shard& shard) const;
+  const MetricInfo& register_metric(std::string_view name, MetricKind kind,
+                                    std::vector<double> bounds);
+
+  const std::uint64_t registry_id_;
+  mutable std::mutex mutex_;
+  // Deques: element addresses are stable across registration, so handles may
+  // keep pointers into them without holding mutex_.
+  std::deque<MetricInfo> metrics_;
+  std::unordered_map<std::string, std::uint32_t> by_name_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+  std::deque<std::atomic<std::int64_t>> gauges_;
+  std::atomic<std::uint32_t> u64_total_{0};
+  std::atomic<std::uint32_t> f64_total_{0};
+};
+
+}  // namespace dbn::obs

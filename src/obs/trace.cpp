@@ -1,0 +1,307 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace dbn::obs {
+
+namespace detail {
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+}  // namespace detail
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_next_thread_lane{0};
+
+struct ThreadLane {
+  std::uint64_t lane = 0;
+  bool overridden = false;
+  bool assigned = false;
+};
+
+ThreadLane& thread_lane() {
+  thread_local ThreadLane lane;
+  return lane;
+}
+
+}  // namespace
+
+const char* trace_phase_name(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::Begin:
+      return "B";
+    case TracePhase::End:
+      return "E";
+    case TracePhase::Instant:
+      return "i";
+  }
+  return "?";
+}
+
+const char* trace_clock_name(TraceClock clock) {
+  switch (clock) {
+    case TraceClock::Wall:
+      return "wall";
+    case TraceClock::Sim:
+      return "sim";
+    case TraceClock::Logical:
+      return "logical";
+  }
+  return "?";
+}
+
+TraceArg targ(std::string_view key, std::string_view value) {
+  return TraceArg{std::string(key), std::string(value), false};
+}
+
+TraceArg targ(std::string_view key, const char* value) {
+  return TraceArg{std::string(key), std::string(value), false};
+}
+
+TraceArg targ(std::string_view key, std::int64_t value) {
+  return TraceArg{std::string(key), std::to_string(value), true};
+}
+
+TraceArg targ(std::string_view key, std::uint64_t value) {
+  return TraceArg{std::string(key), std::to_string(value), true};
+}
+
+TraceArg targ(std::string_view key, int value) {
+  return targ(key, static_cast<std::int64_t>(value));
+}
+
+TraceArg targ(std::string_view key, double value) {
+  return TraceArg{std::string(key), json_number(value), true};
+}
+
+void set_trace_sink(TraceSink* sink) {
+  detail::g_trace_sink.store(sink, std::memory_order_release);
+}
+
+void emit(TraceEvent event) {
+  if (TraceSink* sink = trace_sink()) {
+    sink->emit(event);
+  }
+}
+
+void instant(std::string_view name, std::string_view category,
+             TraceClock clock, double ts, std::vector<TraceArg> args,
+             std::uint64_t span) {
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.phase = TracePhase::Instant;
+  event.clock = clock;
+  event.ts = ts;
+  event.lane = current_lane();
+  event.span = span;
+  event.args = std::move(args);
+  sink->emit(event);
+}
+
+std::uint64_t current_lane() {
+  ThreadLane& lane = thread_lane();
+  if (!lane.overridden && !lane.assigned) {
+    lane.lane = g_next_thread_lane.fetch_add(1, std::memory_order_relaxed);
+    lane.assigned = true;
+  }
+  return lane.lane;
+}
+
+LaneScope::LaneScope(std::uint64_t lane) {
+  ThreadLane& tls = thread_lane();
+  previous_ = tls.lane;
+  had_previous_ = tls.overridden || tls.assigned;
+  tls.lane = lane;
+  tls.overridden = true;
+}
+
+LaneScope::~LaneScope() {
+  ThreadLane& tls = thread_lane();
+  tls.lane = previous_;
+  tls.overridden = had_previous_;
+}
+
+Span::Span(Span&& other) noexcept
+    : id_(std::exchange(other.id_, 0)),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      clock_(other.clock_),
+      lane_(other.lane_),
+      args_(std::move(other.args_)) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    if (id_ != 0) {
+      end(0.0);
+    }
+    id_ = std::exchange(other.id_, 0);
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    clock_ = other.clock_;
+    lane_ = other.lane_;
+    args_ = std::move(other.args_);
+  }
+  return *this;
+}
+
+Span::~Span() {
+  if (id_ != 0) {
+    end(0.0);
+  }
+}
+
+Span Span::begin(std::string_view name, std::string_view category,
+                 TraceClock clock, double ts) {
+  Span span;
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) {
+    return span;
+  }
+  span.id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  span.name_ = std::string(name);
+  span.category_ = std::string(category);
+  span.clock_ = clock;
+  span.lane_ = current_lane();
+
+  TraceEvent event;
+  event.name = span.name_;
+  event.category = span.category_;
+  event.phase = TracePhase::Begin;
+  event.clock = clock;
+  event.ts = ts;
+  event.lane = span.lane_;
+  event.span = span.id_;
+  sink->emit(event);
+  return span;
+}
+
+Span& Span::arg(TraceArg a) {
+  if (id_ != 0) {
+    args_.push_back(std::move(a));
+  }
+  return *this;
+}
+
+void Span::instant(std::string_view name, double ts,
+                   std::vector<TraceArg> args) {
+  if (id_ == 0) {
+    return;
+  }
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) {
+    return;
+  }
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = category_;
+  event.phase = TracePhase::Instant;
+  event.clock = clock_;
+  event.ts = ts;
+  event.lane = lane_;
+  event.span = id_;
+  event.args = std::move(args);
+  sink->emit(event);
+}
+
+void Span::end(double ts) {
+  if (id_ == 0) {
+    return;
+  }
+  const std::uint64_t id = std::exchange(id_, 0);
+  TraceSink* sink = trace_sink();
+  if (sink == nullptr) {
+    return;  // sink removed mid-span: drop the End rather than crash
+  }
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = std::move(category_);
+  event.phase = TracePhase::End;
+  event.clock = clock_;
+  event.ts = ts;
+  event.lane = lane_;
+  event.span = id;
+  event.args = std::move(args_);
+  sink->emit(event);
+}
+
+double wall_ts_micros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return std::chrono::duration<double, std::micro>(Clock::now() - origin)
+      .count();
+}
+
+void MemoryTraceSink::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> MemoryTraceSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void MemoryTraceSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string ndjson_header() { return "{\"schema\":\"trace/1\"}"; }
+
+std::string to_ndjson(const TraceEvent& event) {
+  std::ostringstream out;
+  out << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+      << json_escape(event.category) << "\",\"ph\":\""
+      << trace_phase_name(event.phase) << "\",\"clock\":\""
+      << trace_clock_name(event.clock) << "\",\"ts\":" << json_number(event.ts)
+      << ",\"lane\":" << event.lane;
+  if (event.span != 0) {
+    out << ",\"span\":" << event.span;
+  }
+  if (!event.args.empty()) {
+    out << ",\"args\":{";
+    for (std::size_t i = 0; i < event.args.size(); ++i) {
+      const TraceArg& arg = event.args[i];
+      if (i != 0) {
+        out << ",";
+      }
+      out << "\"" << json_escape(arg.key) << "\":";
+      if (arg.numeric) {
+        out << arg.value;
+      } else {
+        out << "\"" << json_escape(arg.value) << "\"";
+      }
+    }
+    out << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+NdjsonTraceSink::NdjsonTraceSink(std::ostream& out) : out_(out) {
+  out_ << ndjson_header() << "\n";
+}
+
+void NdjsonTraceSink::emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceEvent renumbered = event;
+  if (event.span != 0) {
+    const auto [it, inserted] =
+        span_ids_.emplace(event.span, span_ids_.size() + 1);
+    (void)inserted;
+    renumbered.span = it->second;
+  }
+  out_ << to_ndjson(renumbered) << "\n";
+}
+
+}  // namespace dbn::obs

@@ -1,0 +1,188 @@
+// TraceSink / Span — structured event tracing for every engine in the repo
+// (schema "trace/1").
+//
+// Model: a flat stream of TraceEvents. A *span* is a Begin/End event pair
+// sharing a process-unique span id (route queries, batch chunks, reliable
+// transfers); *instant* events mark single points (a hop, a drop, a fault)
+// and may reference the enclosing span. Every event carries:
+//
+//   - a clock domain. Routing is a combinatorial computation with no
+//     meaningful wall time, the simulator has its own virtual clock, and the
+//     batch engine's workers do run in real time — mixing those on one axis
+//     would be nonsense, so events declare which clock their `ts` is on:
+//       Logical  hop index within a route (deterministic across runs)
+//       Sim      simulator virtual time
+//       Wall     microseconds since process start (batch worker lanes)
+//   - a lane: the horizontal track the event belongs to (thread-pool worker
+//     index, simulator site rank, or a per-thread default).
+//
+// Tracing is disabled by default. The entire hot-path cost when disabled is
+// tracing_enabled(): one relaxed atomic load and a branch — no allocation,
+// no virtual call (verified by BM_UntracedRoute and the no-sink test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dbn::obs {
+
+enum class TracePhase : std::uint8_t { Begin, End, Instant };
+enum class TraceClock : std::uint8_t { Wall, Sim, Logical };
+
+const char* trace_phase_name(TracePhase phase);   // "B", "E", "i"
+const char* trace_clock_name(TraceClock clock);   // "wall", "sim", "logical"
+
+/// One key/value argument. Values are pre-rendered to strings; `numeric`
+/// controls whether exporters quote them.
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+};
+
+TraceArg targ(std::string_view key, std::string_view value);
+TraceArg targ(std::string_view key, const char* value);
+TraceArg targ(std::string_view key, std::int64_t value);
+TraceArg targ(std::string_view key, std::uint64_t value);
+TraceArg targ(std::string_view key, int value);
+TraceArg targ(std::string_view key, double value);
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  TracePhase phase = TracePhase::Instant;
+  TraceClock clock = TraceClock::Logical;
+  double ts = 0.0;
+  std::uint64_t lane = 0;
+  std::uint64_t span = 0;  // owning span id; 0 = none
+  std::vector<TraceArg> args;
+};
+
+/// Receives every event. Implementations must be thread-safe: the batch
+/// engine emits from all pool workers concurrently.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+namespace detail {
+extern std::atomic<TraceSink*> g_trace_sink;
+}  // namespace detail
+
+/// Installs (or, with nullptr, removes) the process-global sink. The caller
+/// keeps ownership and must keep the sink alive until after it is removed.
+void set_trace_sink(TraceSink* sink);
+
+inline bool tracing_enabled() {
+  return detail::g_trace_sink.load(std::memory_order_relaxed) != nullptr;
+}
+
+inline TraceSink* trace_sink() {
+  return detail::g_trace_sink.load(std::memory_order_acquire);
+}
+
+/// Emits through the global sink; no-op when tracing is disabled.
+void emit(TraceEvent event);
+
+/// Convenience: an instant event on the current lane.
+void instant(std::string_view name, std::string_view category,
+             TraceClock clock, double ts, std::vector<TraceArg> args = {},
+             std::uint64_t span = 0);
+
+/// The lane events on this thread default to. Threads get small sequential
+/// ids on first use; LaneScope overrides (the batch engine sets the pool
+/// worker index, the simulator sets site ranks).
+std::uint64_t current_lane();
+
+class LaneScope {
+ public:
+  explicit LaneScope(std::uint64_t lane);
+  ~LaneScope();
+  LaneScope(const LaneScope&) = delete;
+  LaneScope& operator=(const LaneScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
+  bool had_previous_;
+};
+
+/// RAII Begin/End pair. begin() returns an inert span when tracing is
+/// disabled (operations no-op). Args attached via arg() are carried on the
+/// *End* event, so a span can accumulate results while it runs.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  static Span begin(std::string_view name, std::string_view category,
+                    TraceClock clock = TraceClock::Logical, double ts = 0.0);
+
+  explicit operator bool() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+  Span& arg(TraceArg a);
+
+  /// Child instant event inside this span.
+  void instant(std::string_view name, double ts,
+               std::vector<TraceArg> args = {});
+
+  void end(double ts);
+
+ private:
+  std::uint64_t id_ = 0;
+  std::string name_;
+  std::string category_;
+  TraceClock clock_ = TraceClock::Logical;
+  std::uint64_t lane_ = 0;
+  std::vector<TraceArg> args_;
+};
+
+/// Microseconds since the first call in this process (Wall clock origin).
+double wall_ts_micros();
+
+/// Collects events in memory (test + dbn_trace pretty-printer backend).
+class MemoryTraceSink : public TraceSink {
+ public:
+  void emit(const TraceEvent& event) override;
+  std::vector<TraceEvent> events() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Streams newline-delimited JSON (schema "trace/1": one header line, then
+/// one object per event). Span ids are renumbered in first-seen order so two
+/// identical runs produce byte-identical output even though the process-wide
+/// id counter differs.
+class NdjsonTraceSink : public TraceSink {
+ public:
+  explicit NdjsonTraceSink(std::ostream& out);
+  void emit(const TraceEvent& event) override;
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> span_ids_;
+};
+
+/// Renders one event as a trace/1 NDJSON line (no trailing newline).
+std::string to_ndjson(const TraceEvent& event);
+
+/// The trace/1 NDJSON header line (no trailing newline).
+std::string ndjson_header();
+
+}  // namespace dbn::obs

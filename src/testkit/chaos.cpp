@@ -13,6 +13,8 @@
 #include "common/contract.hpp"
 #include "core/routers.hpp"
 #include "net/fault.hpp"
+#include "net/load_stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace dbn::testkit {
 
@@ -242,6 +244,19 @@ ChaosRunResult run_scenario(const ChaosScenario& scenario) {
   result.stats = sim.stats();
   result.final_clock = sim.now();
 
+  // Fold the run into the global registry so dbn_chaos --metrics-out
+  // (and any embedding tool) gets sim.* plus transfer-level series;
+  // counters accumulate across the scenarios of a fuzz/replay batch.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  net::record_sim_metrics(registry, sim);
+  registry.counter("reliable.transfers").inc(result.report.transfers);
+  registry.counter("reliable.completed").inc(result.report.completed);
+  registry.counter("reliable.abandoned").inc(result.report.abandoned);
+  registry.counter("reliable.retransmissions")
+      .inc(result.report.retransmissions);
+  registry.counter("reliable.duplicate_deliveries")
+      .inc(result.report.duplicate_deliveries);
+
   const net::ReliableReport& report = result.report;
   const net::SimStats& stats = result.stats;
   check(result.violations,
@@ -274,6 +289,7 @@ ChaosRunResult run_scenario(const ChaosScenario& scenario) {
               trace.attempts.size() <=
                   static_cast<std::size_t>(rc.max_attempts),
           where + "attempt count outside [1, max_attempts]");
+    int delivered_attempts = 0;
     for (std::size_t i = 0; i < trace.attempts.size(); ++i) {
       const net::AttemptRecord& a = trace.attempts[i];
       check(result.violations, a.attempt == static_cast<int>(i),
@@ -285,6 +301,44 @@ ChaosRunResult run_scenario(const ChaosScenario& scenario) {
               a.sent_at > trace.attempts[i - 1].sent_at,
               where + "attempt send times must strictly increase");
       }
+      check(result.violations,
+            (a.cause == net::AttemptCause::Initial) == (i == 0),
+            where + "attempt cause must be Initial exactly for attempt 0");
+      if (i == 0) {
+        check(result.violations, a.backoff_delay == 0.0,
+              where + "first attempt cannot have waited on a backoff");
+      } else {
+        // The realized backoff is exactly the previous window: the driver
+        // retransmits the moment the armed deadline expires.
+        const double expected = a.sent_at - trace.attempts[i - 1].sent_at;
+        const double tolerance =
+            1e-9 * std::max(1.0, std::abs(a.backoff_delay));
+        check(result.violations,
+              std::abs(a.backoff_delay - expected) <= tolerance &&
+                  std::abs(a.backoff_delay - trace.attempts[i - 1].window) <=
+                      tolerance,
+              where + "backoff delay disagrees with the previous window");
+      }
+      delivered_attempts += a.outcome == net::AttemptOutcome::Delivered;
+      if (a.outcome != net::AttemptOutcome::Pending) {
+        check(result.violations, a.resolved_at >= a.sent_at,
+              where + "attempt resolved before it was sent");
+      }
+    }
+    check(result.violations, delivered_attempts == (trace.completed ? 1 : 0),
+          where + "exactly the completed transfers have a Delivered attempt");
+    if (trace.completed) {
+      check(result.violations,
+            trace.delivered_attempt >= 0 &&
+                trace.delivered_attempt <
+                    static_cast<int>(trace.attempts.size()) &&
+                trace.attempts[static_cast<std::size_t>(
+                                   trace.delivered_attempt)]
+                        .outcome == net::AttemptOutcome::Delivered,
+            where + "delivered_attempt must name the Delivered record");
+    } else {
+      check(result.violations, trace.delivered_attempt == -1,
+            where + "incomplete transfers cannot name a delivered attempt");
     }
   }
   std::uint64_t completed_traces = 0;

@@ -8,7 +8,7 @@
 //   dbn_bench [--smoke] [--d N] [--k N] [--queries N] [--repeats N]
 //             [--threads CSV] [--backends CSV] [--cache N] [--flows N]
 //             [--json PATH] [--min-speedup X] [--speedup-threads N]
-//             [--quiet]
+//             [--trace-out PATH] [--metrics-out PATH] [--quiet]
 //
 // Backends: alg1-directed | bidi-engine | bidi-suffix-tree | compiled-table.
 // --flows F > 0 cycles F hot pairs through the batch (the cache regime);
@@ -21,6 +21,13 @@
 // --speedup-threads (default 8) over single-thread falls below X — skipped
 // with a warning when the host has fewer hardware threads than that, since
 // a 1-core runner cannot exhibit parallel speedup.
+//
+// --trace-out PATH runs one extra *traced* pass (capped at 4096 queries so
+// the file stays manageable) after the timed sweep — the timed runs stay
+// untraced — and exports it as Chrome trace_event JSON when PATH ends in
+// ".json" (per-worker lanes in Perfetto), trace/1 NDJSON otherwise.
+// --metrics-out PATH snapshots the global metrics registry (batch.* query
+// and cache counters accumulated across the whole sweep) as metrics/1.
 //
 // Exit status: 0 ok, 2 usage error, 3 failed speedup check.
 #include <algorithm>
@@ -38,6 +45,7 @@
 #include "common/contract.hpp"
 #include "common/rng.hpp"
 #include "core/batch_route_engine.hpp"
+#include "obs_flags.hpp"
 
 namespace {
 
@@ -55,6 +63,8 @@ struct BenchConfig {
   bool smoke = false;
   bool quiet = false;
   std::string json_path;
+  std::string trace_out;
+  std::string metrics_out;
   double min_speedup = 0.0;
   std::size_t speedup_threads = 8;
 };
@@ -232,7 +242,8 @@ void usage(std::ostream& out) {
   out << "usage: dbn_bench [--smoke] [--d N] [--k N] [--queries N]\n"
          "                 [--repeats N] [--threads CSV] [--backends CSV]\n"
          "                 [--cache N] [--flows N] [--json PATH]\n"
-         "                 [--min-speedup X] [--speedup-threads N] [--quiet]\n"
+         "                 [--min-speedup X] [--speedup-threads N]\n"
+         "                 [--trace-out PATH] [--metrics-out PATH] [--quiet]\n"
          "backends: alg1-directed bidi-engine bidi-suffix-tree "
          "compiled-table\n";
 }
@@ -333,6 +344,20 @@ std::optional<BenchConfig> parse_args(int argc, char** argv) {
         return std::nullopt;
       }
       config.json_path = *text;
+    } else if (arg == "--trace-out") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_bench: --trace-out needs a path\n";
+        return std::nullopt;
+      }
+      config.trace_out = *text;
+    } else if (arg == "--metrics-out") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_bench: --metrics-out needs a path\n";
+        return std::nullopt;
+      }
+      config.metrics_out = *text;
     } else if (arg == "--quiet") {
       config.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -408,6 +433,36 @@ int main(int argc, char** argv) {
       }
     }
     fill_speedups(rows);
+    if (!config.trace_out.empty() || !config.metrics_out.empty()) {
+      // Observability pass — after the timed sweep, so timings above are
+      // untraced. The traced batch is capped to keep the file manageable.
+      dbn::tools::ObsWriter writer;
+      if (!writer.setup(config.trace_out, config.metrics_out)) {
+        return 2;
+      }
+      if (!config.trace_out.empty()) {
+        BenchConfig traced = config;
+        traced.flows = 0;
+        std::vector<RouteQuery> queries = make_queries(traced);
+        if (queries.size() > 4096) {
+          queries.erase(queries.begin() + 4096, queries.end());
+        }
+        BatchRouteEngine engine(
+            config.d, config.k,
+            BatchRouteOptions{.backend = config.backends.front(),
+                              .threads = config.threads.back(),
+                              .chunk = 256,
+                              .cache_entries = config.cache_entries});
+        std::vector<RoutingPath> out;
+        engine.route_batch_into(queries, out);
+        if (!config.quiet) {
+          std::cerr << "dbn_bench: traced pass (" << queries.size()
+                    << " queries, " << config.threads.back()
+                    << " threads) -> " << config.trace_out << "\n";
+        }
+      }
+      writer.finish();
+    }
     if (!config.json_path.empty()) {
       std::ofstream file(config.json_path);
       if (!file) {

@@ -5,7 +5,11 @@
 //             [--max-failures N] [--failure-dir DIR] [--quiet]
 //   dbn_chaos --replay <scenario.chaos | directory>
 //
-// Flags accept both "--flag value" and "--flag=value".
+// Flags accept both "--flag value" and "--flag=value". Both modes accept
+// --trace-out FILE (simulator send/deliver/drop/fault events plus the
+// reliable-transfer attempt stream, as trace/1 NDJSON, or Chrome
+// trace_event JSON when FILE ends in ".json") and --metrics-out FILE
+// (metrics/1 snapshot of the global registry after the run).
 //
 // The fuzz loop samples random fault schedules + traffic, runs each
 // scenario to quiescence twice (determinism is one of the invariants),
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "common/contract.hpp"
+#include "obs_flags.hpp"
 #include "testkit/chaos.hpp"
 
 namespace {
@@ -37,12 +42,15 @@ void usage(std::ostream& out) {
          "  dbn_chaos [--seed N] [--iters N] [--time-budget SEC] "
          "[--no-shrink]\n"
          "            [--max-failures N] [--failure-dir DIR] [--quiet]\n"
-         "  dbn_chaos --replay <scenario.chaos | directory>\n";
+         "  dbn_chaos --replay <scenario.chaos | directory>\n"
+         "both modes accept --trace-out FILE and --metrics-out FILE\n";
 }
 
 struct ParsedArgs {
   std::vector<std::string> replays;
   std::string failure_dir;
+  std::string trace_out;
+  std::string metrics_out;
   bool quiet = false;
   bool ok = true;
   testkit::ChaosFuzzOptions fuzz;
@@ -126,6 +134,22 @@ ParsedArgs parse_args(int argc, char** argv) {
         parsed.ok = false;
       } else {
         parsed.failure_dir = *text;
+      }
+    } else if (arg == "--trace-out") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_chaos: --trace-out needs a path\n";
+        parsed.ok = false;
+      } else {
+        parsed.trace_out = *text;
+      }
+    } else if (arg == "--metrics-out") {
+      const auto text = take_value(i);
+      if (!text) {
+        std::cerr << "dbn_chaos: --metrics-out needs a path\n";
+        parsed.ok = false;
+      } else {
+        parsed.metrics_out = *text;
       }
     } else if (arg == "--no-shrink") {
       parsed.fuzz.shrink = false;
@@ -256,6 +280,10 @@ int main(int argc, char** argv) {
     ParsedArgs parsed = parse_args(argc, argv);
     if (!parsed.ok) {
       usage(std::cerr);
+      return 2;
+    }
+    dbn::tools::ObsWriter obs_writer;
+    if (!obs_writer.setup(parsed.trace_out, parsed.metrics_out)) {
       return 2;
     }
     if (!parsed.replays.empty()) {

@@ -8,6 +8,11 @@
 //   dbn broadcast <d> <k> <root> [--single-port]
 //   dbn simulate <d> <k> [--rate=R] [--duration=T] [--policy=zero|random|lq]
 //
+// Every command also accepts --trace-out=FILE (route spans / simulator
+// events as trace/1 NDJSON, or Chrome trace_event JSON when FILE ends in
+// ".json") and --metrics-out=FILE (metrics/1 snapshot of the global
+// registry after the run).
+//
 // Words are digit strings, e.g. "0110" for (0,1,1,0); digits above 9 are
 // not supported on the command line (the library itself has no such
 // limit). Exit status 0 on success, 1 on usage errors.
@@ -33,6 +38,7 @@
 #include "net/load_stats.hpp"
 #include "net/simulator.hpp"
 #include "net/traffic.hpp"
+#include "obs_flags.hpp"
 
 namespace {
 
@@ -51,6 +57,7 @@ void usage(std::ostream& out) {
          "  dbn kautz <d> <k> [<X> <Y>]\n"
          "  dbn simulate <d> <k> [--rate=R] [--duration=T] "
          "[--policy=zero|random|lq]\n"
+         "all commands accept --trace-out=FILE and --metrics-out=FILE\n"
          "words are digit strings, e.g. 0110\n";
 }
 
@@ -283,6 +290,7 @@ int cmd_simulate(std::uint32_t d, std::size_t k,
                                 src, dst, WildcardMode::Wildcards)));
   }
   sim.run();
+  net::record_sim_metrics(obs::MetricsRegistry::global(), sim);
   const net::SimStats& s = sim.stats();
   Table table({"metric", "value"});
   table.add_row({"injected", std::to_string(s.injected)});
@@ -306,6 +314,7 @@ int main(int argc, char** argv) {
     usage(args.empty() ? std::cout : std::cerr);
     return args.empty() ? 0 : 1;
   }
+  dbn::tools::ObsWriter obs_writer;
   try {
     const std::string_view command = args[0];
     const auto d = static_cast<std::uint32_t>(
@@ -313,6 +322,11 @@ int main(int argc, char** argv) {
     const auto k =
         static_cast<std::size_t>(std::atoi(std::string(args[2]).c_str()));
     const std::vector<std::string_view> rest(args.begin() + 3, args.end());
+    if (!obs_writer.setup(
+            std::string(flag_value(rest, "--trace-out").value_or("")),
+            std::string(flag_value(rest, "--metrics-out").value_or("")))) {
+      return 1;
+    }
     if (command == "route") {
       return cmd_route(d, k, rest);
     }
