@@ -42,6 +42,12 @@ void ThreadPool::run_chunks(std::size_t worker_index) {
   const std::size_t previous_worker = t_current_worker;
   t_current_worker = worker_index;
   while (true) {
+    // memory_order_relaxed: `next_` is a pure work counter — the only thing
+    // that must be atomic is the claim itself. Every other job field
+    // (body_, total_, chunk_size_) was written by parallel_for under
+    // `mutex_` before the worker observed the new generation under the same
+    // mutex, so the lock provides the happens-before edge; the counter
+    // carries no payload.
     const std::size_t begin =
         next_.fetch_add(chunk_size_, std::memory_order_relaxed);
     if (begin >= total_) {
@@ -53,6 +59,10 @@ void ThreadPool::run_chunks(std::size_t worker_index) {
     } catch (...) {
       // Abort the remaining chunks and remember the first failure; the
       // caller rethrows it once every worker has drained.
+      // memory_order_relaxed: the store only needs to become visible
+      // eventually — a worker that misses it claims one extra chunk, which
+      // is wasted work, not a correctness problem. The exception itself is
+      // published under `mutex_`.
       next_.store(total_, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) {
@@ -111,6 +121,8 @@ void ThreadPool::parallel_for(std::size_t total, std::size_t chunk_size,
     body_ = &body;
     total_ = total;
     chunk_size_ = chunk_size;
+    // memory_order_relaxed: ordered against the workers' first fetch_add by
+    // the mutex_-protected generation bump below (see run_chunks).
     next_.store(0, std::memory_order_relaxed);
     first_error_ = nullptr;
     active_workers_ = workers_.size();

@@ -70,7 +70,13 @@ class ThreadPool {
   std::size_t active_workers_ = 0; // helpers still inside the current job
 
   // Current job (valid while active_workers_ > 0 or the caller is inside
-  // parallel_for).
+  // parallel_for). Concurrency audit: the plain fields are written by
+  // parallel_for under mutex_ and read by workers only after they observe
+  // the matching generation_ bump under the same mutex, so the lock — not
+  // the atomic — provides the happens-before edge. `next_` is the lone
+  // cross-thread atomic and is used purely as a work counter with relaxed
+  // ordering (rationale at each use in thread_pool.cpp and in
+  // docs/static_analysis.md).
   const ChunkBody* body_ = nullptr;
   std::size_t total_ = 0;
   std::size_t chunk_size_ = 1;

@@ -86,6 +86,8 @@ std::uint64_t BatchRouteEngine::pair_hash(const Word& x, const Word& y) {
 
 bool BatchRouteEngine::cache_lookup(std::uint64_t hash, const Word& x,
                                     const Word& y, RoutingPath& out) {
+  // memory_order_relaxed: pure statistics counters, read only after
+  // parallel_for's join (which is the synchronization point).
   cache_lookups_.fetch_add(1, std::memory_order_relaxed);
   CacheShard& shard = *shards_[hash % shards_.size()];
   const std::size_t slot = (hash / shards_.size()) % shard.entries.size();

@@ -112,6 +112,17 @@ strings::OverlapMin min_l_cost_suffix_tree(SymbolView x, SymbolView y) {
                   }
                 });
   DBN_ASSERT(best.cost <= k, "l-side minimum must not exceed the diameter");
+  // Same witness contract as the Morris–Pratt scan (route_engine): the
+  // minimizer is in range and reproduces its cost; at audit level the
+  // result is cross-checked against the O(k^2) Algorithm 3 reference.
+  DBN_ENSURE(best.s >= 1 && best.s <= k && best.t >= 1 && best.t <= k &&
+                 best.theta >= 0 && best.theta <= best.t &&
+                 best.theta <= k - best.s + 1,
+             "suffix-tree witness (s, t, theta) out of range");
+  DBN_ENSURE(best.cost == 2 * k - 1 + best.s - best.t - best.theta,
+             "suffix-tree witness does not reproduce its cost");
+  DBN_AUDIT(best.cost == strings::min_l_cost(x, y).cost,
+            "suffix-tree minimum must equal the Algorithm 3 scan");
   return best;
 }
 

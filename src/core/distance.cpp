@@ -1,5 +1,6 @@
 #include "core/distance.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/contract.hpp"
@@ -21,8 +22,11 @@ void check_pair(const Word& x, const Word& y) {
 
 int directed_distance(const Word& x, const Word& y) {
   check_pair(x, y);
-  return static_cast<int>(x.length()) -
-         strings::suffix_prefix_overlap(x.symbols(), y.symbols());
+  const int d = static_cast<int>(x.length()) -
+                strings::suffix_prefix_overlap(x.symbols(), y.symbols());
+  DBN_ENSURE(d >= 0 && d <= static_cast<int>(x.length()),
+             "directed distance must lie in [0, k]");
+  return d;
 }
 
 int undirected_distance_quadratic(const Word& x, const Word& y) {
@@ -45,7 +49,14 @@ int undirected_distance(const Word& x, const Word& y) {
   const Word yr = y.reversed();
   const int d2 =
       strings::min_l_cost_suffix_automaton(xr.symbols(), yr.symbols()).cost;
-  return std::min(d1, d2);
+  const int d = std::min(d1, d2);
+  // D(X,Y) = min(D1, D2) of Theorem 2; both candidates are bounded by the
+  // diameter k, and at audit level the O(k^2) scan must agree.
+  DBN_ENSURE(d >= 0 && d <= static_cast<int>(x.length()),
+             "undirected distance must lie in [0, k]");
+  DBN_AUDIT(d == undirected_distance_quadratic(x, y),
+            "linear kernels must agree with the quadratic reference");
+  return d;
 }
 
 double directed_average_distance_closed_form(std::uint32_t radix,

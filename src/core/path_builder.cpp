@@ -34,6 +34,27 @@ BidiPlan make_bidi_plan(int k, const strings::OverlapMin& l_side,
     plan.t = r_side.t;
     plan.theta = r_side.theta;
   }
+  // Three-block shape validity (Algorithm 2 lines 6/8/9): the trivial path
+  // has length k; a block plan's minimizer must be in range, carry a real
+  // overlap (θ >= 1 — otherwise its cost would be >= k and the trivial
+  // shape would have won), and reproduce the side cost it was chosen for.
+  if (plan.shape == BidiPlan::Shape::Trivial) {
+    DBN_ENSURE(plan.distance == k, "trivial path must have length k");
+  } else {
+    DBN_ENSURE(plan.s >= 1 && plan.s <= k && plan.t >= 1 && plan.t <= k,
+               "block-plan minimizer (s, t) out of range");
+    DBN_ENSURE(plan.theta >= 1, "block plan requires a non-empty overlap");
+    DBN_ENSURE(plan.shape == BidiPlan::Shape::LeftBlock
+                   ? plan.theta <= plan.t && plan.theta <= k - plan.s + 1 &&
+                         plan.distance == 2 * k - 1 + plan.s - plan.t -
+                                              plan.theta
+                   : plan.theta <= plan.s && plan.theta <= k - plan.t + 1 &&
+                         plan.distance == 2 * k - 1 - plan.s + plan.t -
+                                              plan.theta,
+               "block plan does not reproduce its side cost");
+  }
+  DBN_ENSURE(plan.distance >= 0 && plan.distance <= k,
+             "planned distance must lie in [0, k]");
   return plan;
 }
 
@@ -96,6 +117,9 @@ RoutingPath build_bidi_path(const Word& x, const Word& y, const BidiPlan& plan,
   }
   DBN_ASSERT(static_cast<int>(path.length()) == plan.distance,
              "constructed path length must equal the planned distance");
+  // The paper's correctness claim for all three shapes: the path reaches y
+  // under any wildcard resolution (zero resolver as the spot-check).
+  DBN_AUDIT(path.apply(x) == y, "constructed path must reach the destination");
   return path;
 }
 

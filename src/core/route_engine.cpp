@@ -1,5 +1,7 @@
 #include "core/route_engine.hpp"
 
+#include <algorithm>
+
 #include "common/contract.hpp"
 #include "core/route_trace.hpp"
 #include "obs/trace.hpp"
@@ -55,8 +57,33 @@ strings::OverlapMin BidirectionalRouteEngine::min_l_cost_inplace(
         best = strings::OverlapMin{cost, i, j, q};
       }
     }
+    // Morris–Pratt failure bounds: a border is a proper prefix, and the
+    // match length never exceeds what the pattern row offers.
+    DBN_AUDIT(std::all_of(border_.begin(), border_.end(),
+                          [n = 0](int b) mutable { return b <= n++; }),
+              "border array entries must be proper-prefix lengths");
   }
   DBN_ASSERT(best.cost <= ki, "l-side minimum must not exceed the diameter");
+  // Theorem 2 witness validity: the minimizer must be in range, reproduce
+  // its own cost, and (audit level) actually match the θ-length block
+  // x_s..x_{s+θ-1} = y_{t-θ+1}..y_t it claims.
+  DBN_ENSURE(best.s >= 1 && best.s <= ki && best.t >= 1 && best.t <= ki &&
+                 best.theta >= 0 && best.theta <= best.t &&
+                 best.theta <= ki - best.s + 1,
+             "l-side witness (s, t, theta) out of range");
+  DBN_ENSURE(best.cost == 2 * ki - 1 + best.s - best.t - best.theta,
+             "l-side witness does not reproduce its cost");
+  DBN_AUDIT(
+      [&] {
+        for (int m = 0; m < best.theta; ++m) {
+          if (x[static_cast<std::size_t>(best.s - 1 + m)] !=
+              y[static_cast<std::size_t>(best.t - best.theta + m)]) {
+            return false;
+          }
+        }
+        return true;
+      }(),
+      "l-side witness block does not match");
   return best;
 }
 
@@ -71,7 +98,10 @@ int BidirectionalRouteEngine::distance(const Word& x, const Word& y) {
   yr_.assign(y.symbols().rbegin(), y.symbols().rend());
   const int d1 = min_l_cost_inplace(x_, y_, k).cost;
   const int d2 = min_l_cost_inplace(xr_, yr_, k).cost;
-  return std::min(d1, d2);
+  const int d = std::min(d1, d2);
+  DBN_ENSURE(d >= 0 && d <= static_cast<int>(k),
+             "undirected distance must lie in [0, k]");
+  return d;
 }
 
 void BidirectionalRouteEngine::route_into(const Word& x, const Word& y,
@@ -133,6 +163,9 @@ void BidirectionalRouteEngine::route_into(const Word& x, const Word& y,
   }
   DBN_ASSERT(static_cast<int>(out.length()) == plan.distance,
              "constructed path length must equal the planned distance");
+  // Theorem 2 promises the path reaches y under *any* wildcard resolution;
+  // walking it with the zero resolver is a sound spot-check.
+  DBN_AUDIT(out.apply(x) == y, "constructed path must reach the destination");
   if (obs::tracing_enabled()) {
     trace_bidi_route("bidi-engine", x, y, plan, out);
   }

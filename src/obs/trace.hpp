@@ -82,10 +82,18 @@ extern std::atomic<TraceSink*> g_trace_sink;
 void set_trace_sink(TraceSink* sink);
 
 inline bool tracing_enabled() {
+  // memory_order_relaxed: this is a pure hint — the result is only ever
+  // used to skip instrumentation work, never to dereference the sink. Any
+  // code that actually emits re-reads the pointer through trace_sink()'s
+  // acquire load, so a stale answer here costs at most one skipped (or
+  // wasted) event around an enable/disable flip, by design.
   return detail::g_trace_sink.load(std::memory_order_relaxed) != nullptr;
 }
 
 inline TraceSink* trace_sink() {
+  // memory_order_acquire, paired with the release store in
+  // set_trace_sink(): observing the pointer implies observing the fully
+  // constructed sink behind it.
   return detail::g_trace_sink.load(std::memory_order_acquire);
 }
 

@@ -1,5 +1,7 @@
 #include "strings/failure.hpp"
 
+#include <algorithm>
+
 #include "common/contract.hpp"
 
 namespace dbn::strings {
@@ -17,6 +19,22 @@ std::vector<int> border_array(SymbolView pattern) {
     }
     border[i] = q;
   }
+  // Failure-function bounds: border[i] is the length of a *proper* border
+  // of pattern[0..i], so 0 <= border[i] <= i, and successive entries grow
+  // by at most one (each step extends a border by a single symbol).
+  DBN_AUDIT(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (border[i] < 0 || border[i] > static_cast<int>(i)) {
+            return false;
+          }
+          if (i > 0 && border[i] > border[i - 1] + 1) {
+            return false;
+          }
+        }
+        return true;
+      }(),
+      "border array violates the proper-border bounds");
   return border;
 }
 
@@ -38,6 +56,8 @@ int suffix_prefix_overlap(SymbolView x, SymbolView y) {
       ++q;
     }
   }
+  DBN_ENSURE(q >= 0 && q <= static_cast<int>(std::min(x.size(), y.size())),
+             "suffix/prefix overlap must fit in both words");
   return q;
 }
 

@@ -1,0 +1,91 @@
+// Contract macros at level 1 (the default build): DBN_REQUIRE / DBN_ENSURE /
+// DBN_ASSERT are live and throw dbn::ContractViolation; DBN_AUDIT compiles
+// away. The level is pinned here so the TU tests the same configuration no
+// matter what the build sets globally (sanitizer builds default to 2).
+//
+// The sibling TUs test_contract_release.cpp (level 0) and
+// test_contract_audit.cpp (level 2) pin the other two levels, so one build
+// of dbn_tests covers all three configurations.
+#ifdef DBN_CONTRACT_LEVEL
+#undef DBN_CONTRACT_LEVEL
+#endif
+#define DBN_CONTRACT_LEVEL 1
+
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(ContractDefaultLevel, LevelIsOne) {
+  EXPECT_EQ(dbn::contract_level(), 1);
+  EXPECT_EQ(DBN_AUDIT_ENABLED, 0);
+}
+
+TEST(ContractDefaultLevel, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(DBN_REQUIRE(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(DBN_ENSURE(true, "trivially"));
+  EXPECT_NO_THROW(DBN_ASSERT(2 < 3, ""));
+}
+
+TEST(ContractDefaultLevel, RequireThrowsContractViolation) {
+  EXPECT_THROW(DBN_REQUIRE(false, "caller broke the rules"),
+               dbn::ContractViolation);
+}
+
+TEST(ContractDefaultLevel, EnsureThrowsContractViolation) {
+  EXPECT_THROW(DBN_ENSURE(false, ""), dbn::ContractViolation);
+}
+
+TEST(ContractDefaultLevel, AssertThrowsContractViolation) {
+  EXPECT_THROW(DBN_ASSERT(false, ""), dbn::ContractViolation);
+}
+
+TEST(ContractDefaultLevel, MessageCarriesKindExpressionLocationAndText) {
+  try {
+    DBN_REQUIRE(1 == 2, "the message");
+    FAIL() << "must throw";
+  } catch (const dbn::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos) << what;
+    EXPECT_NE(what.find("1 == 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contract.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("the message"), std::string::npos) << what;
+  }
+}
+
+TEST(ContractDefaultLevel, KindsAreDistinguishable) {
+  try {
+    DBN_ENSURE(false, "");
+    FAIL();
+  } catch (const dbn::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+  }
+  try {
+    DBN_ASSERT(false, "");
+    FAIL();
+  } catch (const dbn::ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+TEST(ContractDefaultLevel, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  DBN_REQUIRE(++calls > 0, "side effect counts evaluations");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContractDefaultLevel, AuditIsParsedButNotEvaluated) {
+  int calls = 0;
+  DBN_AUDIT(++calls > 0, "audit is off at level 1");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ContractDefaultLevel, ViolationIsALogicError) {
+  // Callers may catch std::logic_error; ContractViolation must slice into it.
+  EXPECT_THROW(DBN_REQUIRE(false, ""), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+// Contract macros at level 2 (audit): everything from level 1 plus
+// DBN_AUDIT, the tier for O(k)-and-worse re-verification that sanitizer
+// builds enable by default. Pinned here so the audit path is covered even
+// in a default (level 1) build of the test suite.
+#ifdef DBN_CONTRACT_LEVEL
+#undef DBN_CONTRACT_LEVEL
+#endif
+#define DBN_CONTRACT_LEVEL 2
+
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+TEST(ContractAuditLevel, LevelIsTwo) {
+  EXPECT_EQ(dbn::contract_level(), 2);
+  EXPECT_EQ(DBN_AUDIT_ENABLED, 1);
+}
+
+TEST(ContractAuditLevel, BaseMacrosStillActive) {
+  EXPECT_THROW(DBN_REQUIRE(false, ""), dbn::ContractViolation);
+  EXPECT_THROW(DBN_ENSURE(false, ""), dbn::ContractViolation);
+  EXPECT_THROW(DBN_ASSERT(false, ""), dbn::ContractViolation);
+}
+
+TEST(ContractAuditLevel, AuditThrowsWithItsOwnKind) {
+  try {
+    DBN_AUDIT(false, "expensive recheck failed");
+    FAIL() << "must throw";
+  } catch (const dbn::ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("audit"), std::string::npos) << what;
+    EXPECT_NE(what.find("expensive recheck failed"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(ContractAuditLevel, AuditEvaluatesItsCondition) {
+  int calls = 0;
+  DBN_AUDIT(++calls > 0, "audit runs at level 2");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContractAuditLevel, AuditEnabledGuardsSetupCode) {
+  // The documented pattern: expensive witness-recomputation buffers are only
+  // built when the audit checks that consume them are compiled in.
+  bool prepared = false;
+  if (DBN_AUDIT_ENABLED) {
+    prepared = true;
+  }
+  DBN_AUDIT(prepared, "setup gated on DBN_AUDIT_ENABLED must have run");
+  EXPECT_TRUE(prepared);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+// Contract macros at level 0 (release): every macro must compile to
+// nothing — conditions and messages are parsed (they cannot rot) but never
+// evaluated, and nothing throws. The level is pinned before any include so
+// this TU exercises the release configuration inside a normal test build.
+#ifdef DBN_CONTRACT_LEVEL
+#undef DBN_CONTRACT_LEVEL
+#endif
+#define DBN_CONTRACT_LEVEL 0
+
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+// Declared, never defined anywhere. The macros keep the condition in an
+// unevaluated sizeof context, so this TU must still link — the
+// compile-and-link of this file IS the no-op-at-release proof. (External
+// linkage on purpose: an anonymous-namespace declaration would trip
+// -Wunused-function, and a definition would weaken the proof.)
+bool dbn_contract_test_never_defined();
+
+namespace {
+
+TEST(ContractReleaseLevel, LevelIsZero) {
+  EXPECT_EQ(dbn::contract_level(), 0);
+  EXPECT_EQ(DBN_AUDIT_ENABLED, 0);
+}
+
+TEST(ContractReleaseLevel, FalseConditionsDoNotThrow) {
+  EXPECT_NO_THROW(DBN_REQUIRE(false, "compiled out"));
+  EXPECT_NO_THROW(DBN_ENSURE(false, "compiled out"));
+  EXPECT_NO_THROW(DBN_ASSERT(false, "compiled out"));
+  EXPECT_NO_THROW(DBN_AUDIT(false, "compiled out"));
+}
+
+TEST(ContractReleaseLevel, ConditionsAreNeverEvaluated) {
+  int calls = 0;
+  DBN_REQUIRE(++calls > 0, "must not run");
+  DBN_ENSURE(++calls > 0, "must not run");
+  DBN_ASSERT(++calls > 0, "must not run");
+  DBN_AUDIT(++calls > 0, "must not run");
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ContractReleaseLevel, ConditionsAreStillParsedAndNameChecked) {
+  // dbn_contract_test_never_defined() has no definition anywhere; if the
+  // disabled form evaluated (or even odr-used) the condition, this TU
+  // would not link.
+  DBN_ASSERT(dbn_contract_test_never_defined(),
+             "parsed, name-looked-up, not odr-used");
+  SUCCEED();
+}
+
+}  // namespace
