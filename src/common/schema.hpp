@@ -1,0 +1,27 @@
+// The single registry of on-disk schema version strings.
+//
+// Every serialized artifact this repo emits or parses carries a
+// "<name>/<version>" tag so offline tooling (scripts/check_trace.py,
+// scripts/bench_report.py, corpus replay) can reject files it does not
+// understand. House rule, enforced by scripts/dbn_lint.py: the version
+// literals live here and nowhere else in src/ or tools/, so bumping a
+// format is a one-line diff plus the writers/readers it breaks.
+#pragma once
+
+#include <string_view>
+
+namespace dbn::schema {
+
+/// obs NDJSON event stream (obs/trace.hpp, scripts/check_trace.py).
+inline constexpr std::string_view kTrace = "trace/1";
+
+/// obs metrics snapshot JSON (obs/metrics.hpp, scripts/bench_report.py).
+inline constexpr std::string_view kMetrics = "metrics/1";
+
+/// Chaos scenario text format (testkit/chaos.hpp, tools/dbn_chaos).
+inline constexpr std::string_view kChaos = "chaos/1";
+
+/// dbn_bench JSON perf report (tools/dbn_bench, scripts/bench_report.py).
+inline constexpr std::string_view kBench = "dbn-bench/1";
+
+}  // namespace dbn::schema

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/contract.hpp"
+#include "common/schema.hpp"
 #include "common/table.hpp"
 #include "obs/json.hpp"
 
@@ -67,9 +68,16 @@ void Counter::inc(std::uint64_t n) {
     return;
   }
   MetricsRegistry::Shard& shard = registry_->local_shard();
+  // Reading our own shard's size without the shard mutex is safe: only the
+  // owning thread ever grows its shard (ensure_cells), so the size cannot
+  // change under us.
   if (shard.u64.size() <= u64_offset_) {
     registry_->ensure_cells(shard);
   }
+  // memory_order_relaxed: counter cells carry independent tallies, not
+  // publication. snapshot() reads them relaxed too and merges; exactness
+  // after the incrementing threads are joined is what test_obs and the
+  // concurrency stress suite verify.
   shard.u64[u64_offset_].fetch_add(n, std::memory_order_relaxed);
 }
 
@@ -150,6 +158,12 @@ const MetricsRegistry::MetricInfo& MetricsRegistry::register_metric(
       info.f64_cells = 1;
       break;
   }
+  // memory_order_release, paired with the acquire loads in ensure_cells():
+  // a handle is published to other threads by the caller's own
+  // synchronization, but the cell *totals* travel through these atomics —
+  // the release/acquire pair guarantees ensure_cells sizes a shard for
+  // every metric registered before the handle it is servicing was created,
+  // so the handle's offset is always within the freshly grown shard.
   u64_total_.store(info.u64_offset + info.u64_cells,
                    std::memory_order_release);
   f64_total_.store(info.f64_offset + info.f64_cells,
@@ -232,6 +246,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::vector<double> f64(f64_total_.load(std::memory_order_relaxed), 0.0);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    // memory_order_relaxed cell reads: a snapshot taken while other threads
+    // increment is a valid cut (each cell individually atomic), not a
+    // linearizable cross-cell one — callers that need exact totals join
+    // their threads first. The shard mutex only orders growth, not counts.
     const std::size_t nu = std::min(shard->u64.size(), u64.size());
     for (std::size_t i = 0; i < nu; ++i) {
       u64[i] += shard->u64[i].load(std::memory_order_relaxed);
@@ -310,7 +328,7 @@ const MetricSnapshot* MetricsSnapshot::find(std::string_view name) const {
 
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream out;
-  out << "{\"schema\":\"metrics/1\",\"metrics\":[";
+  out << "{\"schema\":\"" << schema::kMetrics << "\",\"metrics\":[";
   bool first = true;
   for (const MetricSnapshot& entry : entries) {
     if (!first) {

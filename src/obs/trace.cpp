@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/schema.hpp"
 #include "obs/json.hpp"
 
 namespace dbn::obs {
@@ -15,6 +16,10 @@ std::atomic<TraceSink*> g_trace_sink{nullptr};
 
 namespace {
 
+// memory_order_relaxed on both id counters: span ids and lane ids only
+// need process-wide uniqueness, never ordering — nothing is published
+// through them (NdjsonTraceSink renumbers spans in first-seen order for
+// deterministic output precisely because allocation order is unordered).
 std::atomic<std::uint64_t> g_next_span_id{1};
 std::atomic<std::uint64_t> g_next_thread_lane{0};
 
@@ -80,6 +85,12 @@ TraceArg targ(std::string_view key, double value) {
 }
 
 void set_trace_sink(TraceSink* sink) {
+  // memory_order_release, paired with the acquire load in trace_sink(): a
+  // thread that observes the new pointer also observes every write the
+  // installing thread made while constructing the sink. Removal (nullptr)
+  // needs no ordering of its own, but a release store is required anyway so
+  // the *installer's* earlier writes are not reordered past a later
+  // re-install.
   detail::g_trace_sink.store(sink, std::memory_order_release);
 }
 
@@ -256,7 +267,9 @@ void MemoryTraceSink::clear() {
   events_.clear();
 }
 
-std::string ndjson_header() { return "{\"schema\":\"trace/1\"}"; }
+std::string ndjson_header() {
+  return "{\"schema\":\"" + std::string(schema::kTrace) + "\"}";
+}
 
 std::string to_ndjson(const TraceEvent& event) {
   std::ostringstream out;

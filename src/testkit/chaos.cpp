@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/contract.hpp"
+#include "common/schema.hpp"
 #include "core/routers.hpp"
 #include "net/fault.hpp"
 #include "net/load_stats.hpp"
@@ -20,7 +21,7 @@ namespace dbn::testkit {
 
 namespace {
 
-constexpr std::string_view kHeader = "chaos/1";
+constexpr std::string_view kHeader = schema::kChaos;
 
 std::string format_double(double value) {
   std::ostringstream out;
@@ -94,7 +95,8 @@ ChaosScenario ChaosScenario::parse(std::string_view text) {
     std::string tag;
     fields >> tag;
     if (!saw_header) {
-      DBN_REQUIRE(tag == kHeader, "chaos scenario must start with 'chaos/1'");
+      DBN_REQUIRE(tag == kHeader, "chaos scenario must start with '" +
+                                      std::string(kHeader) + "'");
       saw_header = true;
       continue;
     }
@@ -142,7 +144,8 @@ ChaosScenario ChaosScenario::parse(std::string_view text) {
       DBN_REQUIRE(false, "unknown chaos line tag: " + tag);
     }
   }
-  DBN_REQUIRE(saw_header, "empty chaos scenario (missing 'chaos/1' header)");
+  DBN_REQUIRE(saw_header, "empty chaos scenario (missing '" +
+                              std::string(kHeader) + "' header)");
   DBN_REQUIRE(saw_net, "chaos scenario missing the 'net d k' line");
   const std::uint64_t n = s.vertex_count();
   for (const net::Transfer& t : s.transfers) {

@@ -44,6 +44,7 @@
 
 #include "common/contract.hpp"
 #include "common/rng.hpp"
+#include "common/schema.hpp"
 #include "core/batch_route_engine.hpp"
 #include "obs_flags.hpp"
 
@@ -198,7 +199,7 @@ std::string json_escape_number(double value) {
 void write_json(std::ostream& out, const BenchConfig& config,
                 const std::vector<ResultRow>& rows) {
   out << "{\n"
-      << "  \"schema\": \"dbn-bench/1\",\n"
+      << "  \"schema\": \"" << dbn::schema::kBench << "\",\n"
       << "  \"generated_by\": \"dbn_bench\",\n"
       << "  \"date_utc\": \"" << utc_timestamp() << "\",\n"
       << "  \"host\": {\"hardware_threads\": "

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/contract.hpp"
+#include "common/schema.hpp"
 #include "core/route_engine.hpp"
 #include "core/routers.hpp"
 #include "debruijn/word.hpp"
@@ -38,8 +39,9 @@ void usage(std::ostream& out) {
          "  dbn_trace <d> <k> <X> <Y> [--algorithm=engine|uni|mp|st|sam]\n"
          "            [--wildcards] [--trace-out=FILE] [--metrics-out=FILE]\n"
          "routes X -> Y with tracing enabled and prints the span tree;\n"
-         "--trace-out writes trace/1 NDJSON (Chrome JSON if FILE ends in "
-         "\".json\")\n";
+         "--trace-out writes "
+      << dbn::schema::kTrace
+      << " NDJSON (Chrome JSON if FILE ends in \".json\")\n";
 }
 
 std::optional<std::string_view> flag_value(
