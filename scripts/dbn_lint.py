@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for debruijn-routing, driven by compile_commands.json.
+
+House rules (each one exists because the generic tooling cannot express it):
+
+  naked-assert        <cassert>'s assert() is compiled out by NDEBUG, which
+                      the RelWithDebInfo production build sets — a contract
+                      that silently vanishes is worse than none. Library,
+                      tool, bench and example code must use the DBN_REQUIRE /
+                      DBN_ENSURE / DBN_ASSERT / DBN_AUDIT macros
+                      (src/common/contract.hpp). tests/ may assert freely.
+
+  std-rand            std::rand is shared mutable state (flagged by TSan,
+                      breaks replayable seeding). Use common/rng.hpp.
+
+  raw-new             src/ owns memory through containers and smart pointers
+                      only; a raw `new` expression is either a leak or a
+                      job for std::make_unique.
+
+  schema-literal      On-disk schema tags ("trace/1", "metrics/1", ...) are
+                      declared once in src/common/schema.hpp; writers and
+                      readers reference the constants so a version bump is
+                      one diff (plus the code it breaks).
+
+  include-order       A foo.cpp must include its own foo.hpp first — the
+                      cheap way to keep every header self-contained.
+
+Suppressing a finding requires an inline justification on the same line:
+    ... // dbn-lint: allow(<rule>) <reason>
+
+Usage:
+    dbn_lint.py --compile-commands build/compile_commands.json
+    dbn_lint.py <file.cpp> [file.hpp ...]     # explicit file list
+
+The compilation database supplies the .cpp universe; headers are collected
+by scanning the repo directories the database's sources live in.  Exits 1
+if any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_DIRS = ("src", "tools", "bench", "examples", "tests")
+SCHEMA_REGISTRY = Path("src") / "common" / "schema.hpp"
+
+# Rules -----------------------------------------------------------------------
+
+ALLOW_RE = re.compile(r"//\s*dbn-lint:\s*allow\(([a-z-]+)\)\s*\S")
+
+NAKED_ASSERT_RE = re.compile(r"(?<![A-Za-z0-9_])assert\s*\(")
+STD_RAND_RE = re.compile(r"std\s*::\s*rand\b|(?<![A-Za-z0-9_:])s?rand\s*\(")
+# A `new` expression: preceded by something that makes it an expression
+# context. `= delete`, `delete` expressions and member names like `renew`
+# don't match.
+RAW_NEW_RE = re.compile(r"(?<![A-Za-z0-9_])new\b(?!\s*\()")
+SCHEMA_LITERAL_RE = re.compile(
+    r"(?:trace|metrics|chaos|dbn-bench|case|corpus)/[0-9]+"
+)
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+
+def strip_comments_keep_strings(text: str) -> str:
+    """Removes // and /* */ comments, preserving line structure and strings."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("\n" * text.count("\n", i, j))
+            i = j
+        elif c in "\"'":
+            quote = c
+            out.append(c)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i : i + 2])
+                    i += 2
+                else:
+                    out.append(text[i])
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_strings(line: str) -> str:
+    """Removes string/char literal contents from one comment-free line."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.findings: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str) -> None:
+        rel = path.relative_to(self.root) if path.is_absolute() else path
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {message}")
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root) if path.is_absolute() else path
+        top = rel.parts[0] if rel.parts else ""
+        if top not in REPO_DIRS:
+            return
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_keep_strings(raw)
+        raw_lines = raw.splitlines()
+        code_lines = code.splitlines()
+
+        in_tests = top == "tests"
+        for lineno, (code_line, raw_line) in enumerate(
+            zip(code_lines, raw_lines), start=1
+        ):
+            allowed = {m.group(1) for m in ALLOW_RE.finditer(raw_line)}
+            bare = strip_strings(code_line)
+
+            if not in_tests and "naked-assert" not in allowed:
+                for m in NAKED_ASSERT_RE.finditer(bare):
+                    before = bare[: m.start()]
+                    if before.rstrip().endswith(("static_", "_")):
+                        continue
+                    self.report(
+                        path, lineno, "naked-assert",
+                        "use DBN_REQUIRE/DBN_ENSURE/DBN_ASSERT/DBN_AUDIT "
+                        "(common/contract.hpp); assert() vanishes under NDEBUG",
+                    )
+            if top in ("src", "tools") and "std-rand" not in allowed:
+                if STD_RAND_RE.search(bare):
+                    self.report(
+                        path, lineno, "std-rand",
+                        "std::rand/srand are unseeded shared state; "
+                        "use common/rng.hpp",
+                    )
+            if top == "src" and "raw-new" not in allowed:
+                if RAW_NEW_RE.search(bare) and "= delete" not in bare:
+                    self.report(
+                        path, lineno, "raw-new",
+                        "raw new expression; use std::make_unique/containers",
+                    )
+            if (
+                top in ("src", "tools")
+                and rel != SCHEMA_REGISTRY
+                and "schema-literal" not in allowed
+            ):
+                if SCHEMA_LITERAL_RE.search(code_line):
+                    self.report(
+                        path, lineno, "schema-literal",
+                        "schema version strings are declared once in "
+                        "src/common/schema.hpp; reference the constant",
+                    )
+
+        if top == "src" and path.suffix == ".cpp":
+            self.check_own_header_first(path, rel, code_lines)
+
+    def check_own_header_first(
+        self, path: Path, rel: Path, code_lines: list[str]
+    ) -> None:
+        own = rel.with_suffix(".hpp")
+        if not (self.root / own).exists():
+            return
+        # The include form used in this repo is "subdir/name.hpp" relative
+        # to src/.
+        expected = own.relative_to("src").as_posix()
+        for lineno, line in enumerate(code_lines, start=1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            if m.group(2) != expected:
+                self.report(
+                    path, lineno, "include-order",
+                    f'first include must be the own header "{expected}" '
+                    "(keeps headers self-contained)",
+                )
+            return
+
+
+def sources_from_compile_commands(db_path: Path, root: Path) -> list[Path]:
+    entries = json.loads(db_path.read_text(encoding="utf-8"))
+    files: set[Path] = set()
+    dirs: set[Path] = set()
+    for entry in entries:
+        src = Path(entry["directory"], entry["file"]).resolve()
+        try:
+            rel = src.relative_to(root)
+        except ValueError:
+            continue  # generated / external source
+        files.add(root / rel)
+        if rel.parts:
+            dirs.add(Path(rel.parts[0]))
+    # The database only lists .cpp files; pull in the headers next to them.
+    for top in sorted(dirs):
+        for header in (root / top).rglob("*.hpp"):
+            files.add(header)
+    return sorted(files)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--compile-commands", type=Path, default=None,
+                        help="compile_commands.json supplying the file set")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="repo root (default: this script's parent dir)")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="explicit files to lint instead")
+    args = parser.parse_args()
+
+    root = (args.root or Path(__file__).resolve().parent.parent).resolve()
+    if args.files:
+        files = [f.resolve() for f in args.files]
+    elif args.compile_commands:
+        files = sources_from_compile_commands(
+            args.compile_commands.resolve(), root
+        )
+    else:
+        files = sorted(
+            f for top in REPO_DIRS for f in (root / top).rglob("*")
+            if f.suffix in (".cpp", ".hpp") and (root / top).is_dir()
+        )
+    if not files:
+        print("dbn_lint: no files to lint", file=sys.stderr)
+        return 2
+
+    linter = Linter(root)
+    for f in files:
+        if f.suffix in (".cpp", ".hpp"):
+            linter.lint_file(f)
+
+    for finding in linter.findings:
+        print(finding)
+    if linter.findings:
+        print(f"dbn_lint: {len(linter.findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"dbn_lint: OK ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
