@@ -21,6 +21,10 @@
 // checks inside route_into (witness range + cost identity, all O(1)
 // compares): contracts staying live in production is part of what the
 // 1.05x budget pays for.
+// BM_PackedKernel* isolate the word-parallel (SWAR) side-minimum kernel
+// from strings/packed.hpp against the scalar Algorithm 3 scan on the same
+// pairs — the per-query ablation behind the batch-level bidi-vs-alg1 gate
+// (scripts/bench_report.py --max-bidi-vs-alg1).
 #include <benchmark/benchmark.h>
 
 #include <vector>
@@ -30,6 +34,8 @@
 #include "core/route_engine.hpp"
 #include "core/routers.hpp"
 #include "obs/trace.hpp"
+#include "strings/matching.hpp"
+#include "strings/packed.hpp"
 
 namespace {
 
@@ -81,7 +87,10 @@ void BM_EngineDistanceOnly(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_EngineDistanceOnly)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+BENCHMARK(BM_EngineDistanceOnly)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity();
 
 /// Accepts every event and throws it away — isolates the cost of *producing*
 /// trace events from any export format.
@@ -122,6 +131,55 @@ void BM_TracedRoute(benchmark::State& state) {
   obs::set_trace_sink(nullptr);
 }
 BENCHMARK(BM_TracedRoute)->Arg(16);
+
+void BM_PackedKernelMinLCost(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  const strings::PackedBuf px = strings::pack_word(x.symbols(), 2);
+  const strings::PackedBuf py = strings::pack_word(y.symbols(), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::min_l_cost_packed(px, py));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PackedKernelMinLCost)->Arg(10)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity();
+
+void BM_PackedKernelMinLCostScalar(benchmark::State& state) {
+  // The scalar Algorithm 3 scan on the identical pairs — the denominator
+  // of the packed speedup at each k.
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(strings::min_l_cost(x.symbols(), y.symbols()));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PackedKernelMinLCostScalar)->Arg(10)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity();
+
+void BM_PackedKernelPackAndSweep(benchmark::State& state) {
+  // The full per-query packed cost as the engine pays it: two packs,
+  // two O(log) lane reversals, the l-side sweep, and the r-side sweep
+  // pruned against the l-side incumbent.
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  Rng rng(k);
+  const Word x = random_word(rng, 2, k);
+  const Word y = random_word(rng, 2, k);
+  for (auto _ : state) {
+    const strings::PackedBuf px = strings::pack_word(x.symbols(), 2);
+    const strings::PackedBuf py = strings::pack_word(y.symbols(), 2);
+    const strings::OverlapMin l = strings::min_l_cost_packed(px, py);
+    benchmark::DoNotOptimize(l);
+    benchmark::DoNotOptimize(strings::min_l_cost_packed_bounded(
+        strings::reverse_cells(px), strings::reverse_cells(py), l.cost));
+  }
+}
+BENCHMARK(BM_PackedKernelPackAndSweep)->Arg(10)->Arg(32);
 
 // The CI smoke grid: DG(2,10), random pairs, 8192 queries per batch.
 constexpr std::uint32_t kSmokeD = 2;

@@ -14,7 +14,11 @@ Two subcommands:
            BM_Engine trio (bench_route_engine), derived tracing-overhead
            rows are appended; --max-disabled-overhead R fails (exit 1)
            when the *disabled* tracing path costs more than R x the
-           uninstrumented engine loop measured in the same run.
+           uninstrumented engine loop measured in the same run. When the
+           dbn_bench sweep includes the single-thread alg1-directed and
+           bidi-engine rows, a derived bidi-vs-alg1 ratio is appended and
+           --max-bidi-vs-alg1 R gates it the same way (the packed-kernel
+           budget: undirected optimality at <= R x the directed scan).
 
   compare  Check a fresh report against a committed baseline and fail
            (exit 1) when any comparable single-thread entry regressed by
@@ -108,18 +112,56 @@ def derive_tracing_overhead(rows):
     return disabled_overhead
 
 
-def run_gbench(build_dir, name, benchmark_filter, min_time):
-    """Run one Google-Benchmark binary, normalized to result rows."""
+def derive_bidi_vs_alg1(rows):
+    """Appends the derived bidi-vs-alg1 row; returns the ratio.
+
+    Compares the two single-thread batch rows of the dbn_bench sweep:
+      batch/alg1-directed/t1   Algorithm 1 (directed, one MP scan)
+      batch/bidi-engine/t1     Theorem 2 (undirected, both side minima)
+    The ratio is the per-query price of undirected optimality; the packed
+    SWAR kernels are what keep it small. Returns None when either row is
+    absent (non-smoke sweeps).
+    """
+    def find(name):
+        for row in rows:
+            if row["name"] == name:
+                return row["best_ns_per_query"]
+        return None
+
+    alg1 = find("batch/alg1-directed/t1")
+    bidi = find("batch/bidi-engine/t1")
+    if alg1 is None or bidi is None:
+        return None
+    ratio = bidi / alg1
+    rows.append({
+        "name": "derived/bidi_vs_alg1",
+        "backend": "derived",
+        "threads": 1,
+        "best_ns_per_query": ratio,  # a ratio, not a timing
+        "note": "batch/bidi-engine/t1 / batch/alg1-directed/t1 (same run)",
+    })
+    return ratio
+
+
+def run_gbench(build_dir, name, benchmark_filter, min_time, repetitions):
+    """Run one Google-Benchmark binary, normalized to result rows.
+
+    Each benchmark runs `repetitions` times and the row keeps the minimum —
+    single-shot timings on shared runners are noisy enough to flip the
+    ratio gates (derived rows compare two of these timings), while the
+    min over a few repetitions is stable.
+    """
     binary = os.path.join(build_dir, "bench", name)
     if not os.path.exists(binary):
         sys.exit(f"bench_report: {binary} not found (build the benches first)")
     cmd = [binary, "--benchmark_format=json",
-           f"--benchmark_min_time={min_time}"]
+           f"--benchmark_min_time={min_time}",
+           f"--benchmark_repetitions={repetitions}"]
     if benchmark_filter:
         cmd.append(f"--benchmark_filter={benchmark_filter}")
     proc = subprocess.run(cmd, check=True, capture_output=True, text=True)
     doc = json.loads(proc.stdout)
-    rows = []
+    best = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
@@ -130,14 +172,17 @@ def run_gbench(build_dir, name, benchmark_filter, min_time):
             ns = ns * 1e6
         elif bench.get("time_unit") == "s":
             ns = ns * 1e9
-        rows.append({
-            "name": f"gbench/{name}/{bench['name']}",
+        row_name = f"gbench/{name}/{bench['name']}"
+        if row_name in best and best[row_name]["best_ns_per_query"] <= ns:
+            continue
+        best[row_name] = {
+            "name": row_name,
             "backend": "gbench",
             "threads": 1,
             "best_ns_per_query": ns,
             "items_per_second": bench.get("items_per_second", 0.0),
-        })
-    return rows
+        }
+    return list(best.values())
 
 
 def cmd_record(args):
@@ -146,8 +191,9 @@ def cmd_record(args):
     for name in args.gbench:
         report["results"].extend(
             run_gbench(args.build_dir, name, args.gbench_filter,
-                       args.gbench_min_time))
+                       args.gbench_min_time, args.gbench_repetitions))
     disabled_overhead = derive_tracing_overhead(report["results"])
+    bidi_vs_alg1 = derive_bidi_vs_alg1(report["results"])
     report["schema"] = SCHEMA
     report["generated_by"] = "scripts/bench_report.py"
     if metrics:
@@ -174,6 +220,18 @@ def cmd_record(args):
         print("bench_report: FAIL --max-disabled-overhead set but the "
               "BM_Engine/BM_UntracedRoute/BM_TracedRoute trio was not "
               "recorded (add --gbench bench_route_engine)")
+        return 1
+    if bidi_vs_alg1 is not None:
+        print(f"bench_report: bidi-vs-alg1 at t1 {bidi_vs_alg1:.3f}x")
+        if args.max_bidi_vs_alg1 > 0 and bidi_vs_alg1 > args.max_bidi_vs_alg1:
+            print(f"bench_report: FAIL bidi-engine costs "
+                  f"{bidi_vs_alg1:.3f}x alg1-directed at t1 > allowed "
+                  f"{args.max_bidi_vs_alg1:.2f}x")
+            return 1
+    elif args.max_bidi_vs_alg1 > 0:
+        print("bench_report: FAIL --max-bidi-vs-alg1 set but the "
+              "batch/alg1-directed/t1 + batch/bidi-engine/t1 pair was not "
+              "recorded (run the --smoke sweep)")
         return 1
     return 0
 
@@ -240,6 +298,9 @@ def main():
     rec.add_argument("--gbench-filter", default="",
                      help="--benchmark_filter for the gbench binaries")
     rec.add_argument("--gbench-min-time", default="0.05")
+    rec.add_argument("--gbench-repetitions", type=int, default=3,
+                     help="repetitions per benchmark; rows keep the min "
+                          "(stabilizes the derived ratio gates)")
     rec.add_argument("--dbn-bench-arg", action="append", default=[],
                      help="extra argument forwarded to dbn_bench "
                           "(repeatable)")
@@ -247,6 +308,10 @@ def main():
                      help="fail when disabled tracing costs more than this "
                           "ratio of the uninstrumented loop (0 = no gate; "
                           "CI uses 1.05)")
+    rec.add_argument("--max-bidi-vs-alg1", type=float, default=0.0,
+                     help="fail when the single-thread bidi-engine batch "
+                          "row costs more than this ratio of the "
+                          "alg1-directed row (0 = no gate; CI uses 2.0)")
     rec.set_defaults(func=cmd_record)
 
     cmp_ = sub.add_parser("compare", help="gate a report against a baseline")

@@ -97,7 +97,6 @@ void ThreadPool::worker_main(std::size_t worker_index) {
 
 void ThreadPool::parallel_for(std::size_t total, std::size_t chunk_size,
                               const ChunkBody& body) {
-  DBN_REQUIRE(body != nullptr, "parallel_for requires a body");
   if (total == 0) {
     return;
   }

@@ -15,7 +15,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -26,8 +25,30 @@ class ThreadPool {
  public:
   /// Body of a parallel loop: half-open index range [begin, end) plus the
   /// executing worker's index in [0, thread_count()).
-  using ChunkBody =
-      std::function<void(std::size_t begin, std::size_t end, std::size_t worker)>;
+  ///
+  /// A non-owning view rather than a std::function: parallel_for only
+  /// borrows the callable for the duration of the (blocking) call, and a
+  /// std::function would heap-allocate for every capture-heavy lambda —
+  /// which would break the batch engine's zero-allocation steady state
+  /// (pinned by the operator-new counting tests).
+  class ChunkBody {
+   public:
+    template <typename F>
+    ChunkBody(const F& f)  // NOLINT(google-explicit-constructor)
+        : ctx_(&f), invoke_([](const void* ctx, std::size_t begin,
+                               std::size_t end, std::size_t worker) {
+            (*static_cast<const F*>(ctx))(begin, end, worker);
+          }) {}
+
+    void operator()(std::size_t begin, std::size_t end,
+                    std::size_t worker) const {
+      invoke_(ctx_, begin, end, worker);
+    }
+
+   private:
+    const void* ctx_;
+    void (*invoke_)(const void*, std::size_t, std::size_t, std::size_t);
+  };
 
   /// A pool of `threads` workers total (the caller counts as one);
   /// 0 means std::thread::hardware_concurrency().

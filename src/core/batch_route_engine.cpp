@@ -33,8 +33,12 @@ BatchRouteEngine::BatchRouteEngine(std::uint32_t d, std::size_t k,
   DBN_REQUIRE(k_ >= 1, "batch engine needs k >= 1");
   pool_ = std::make_unique<ThreadPool>(options_.threads);
   scratch_.reserve(pool_->thread_count());
+  const SideKernelFallback fallback =
+      options_.backend == BatchBackend::BidiSuffixTree
+          ? SideKernelFallback::SuffixTree
+          : SideKernelFallback::MpScan;
   for (std::size_t i = 0; i < pool_->thread_count(); ++i) {
-    scratch_.push_back(std::make_unique<Scratch>(k_));
+    scratch_.push_back(std::make_unique<Scratch>(k_, fallback));
   }
   if (options_.backend == BatchBackend::CompiledTable) {
     // The table answers for the undirected network, matching the other
@@ -121,11 +125,12 @@ void BatchRouteEngine::compute_route(const RouteQuery& query, Scratch& scratch,
       out = route_unidirectional(query.x, query.y);
       return;
     case BatchBackend::BidiEngine:
-      scratch.engine.route_into(query.x, query.y, options_.wildcard_mode, out);
-      return;
     case BatchBackend::BidiSuffixTree:
-      out = route_bidirectional_suffix_tree(query.x, query.y,
-                                            options_.wildcard_mode);
+      // Both bi-directional backends run in the per-worker engine arena;
+      // the suffix-tree variant only differs in the engine's scalar
+      // fallback kernel (and allocates nothing per query when (d, k)
+      // packs into a lane).
+      scratch.engine.route_into(query.x, query.y, options_.wildcard_mode, out);
       return;
     case BatchBackend::CompiledTable: {
       out = RoutingPath{};
@@ -152,10 +157,8 @@ int BatchRouteEngine::compute_distance(const RouteQuery& query,
     case BatchBackend::Alg1Directed:
       return directed_distance(query.x, query.y);
     case BatchBackend::BidiEngine:
-      return scratch.engine.distance(query.x, query.y);
     case BatchBackend::BidiSuffixTree:
-      return static_cast<int>(
-          route_bidirectional_suffix_tree(query.x, query.y).length());
+      return scratch.engine.distance(query.x, query.y);
     case BatchBackend::CompiledTable:
       return table_->walk_length(query.x.rank(), query.y.rank());
   }

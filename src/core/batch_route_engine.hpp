@@ -51,7 +51,9 @@ class RoutingTable;
 enum class BatchBackend {
   Alg1Directed,     // Algorithm 1: directed DG(d,k), left shifts only
   BidiEngine,       // Algorithms 2/3 via the allocation-free route engine
-  BidiSuffixTree,   // Algorithm 4: generalized suffix tree, O(k)
+  BidiSuffixTree,   // Algorithm 4: the same engine arena with the
+                    // suffix-tree scalar fallback (packed lanes whenever
+                    // (d,k) fits — no per-query tree construction there)
   CompiledTable,    // next-hop table walk (requires materializable d^k)
 };
 
@@ -122,10 +124,12 @@ class BatchRouteEngine {
 
  private:
   // One worker's reusable state: the allocation-free bidirectional engine
-  // (Morris–Pratt failure rows + matching buffers) and a path scratch for
-  // cache insertion.
+  // (packed lanes, Morris–Pratt failure rows + matching buffers). Both
+  // bi-directional backends route through it; they differ only in the
+  // engine's scalar fallback kernel for unpackable (d, k).
   struct Scratch {
-    explicit Scratch(std::size_t max_k) : engine(max_k) {}
+    Scratch(std::size_t max_k, SideKernelFallback fallback)
+        : engine(max_k, fallback) {}
     BidirectionalRouteEngine engine;
   };
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/contract.hpp"
+#include "strings/packed.hpp"
 #include "strings/suffix_tree.hpp"
 
 namespace dbn {
@@ -98,7 +99,8 @@ strings::OverlapMin min_l_cost_suffix_tree(SymbolView x, SymbolView y) {
                 [&](int v, const NodeAggregate& a) {
                   const int depth = tree.string_depth(v);
                   if (depth == 0 || tree.is_leaf(v) ||
-                      a.min_start_a == std::numeric_limits<std::int64_t>::max() ||
+                      a.min_start_a ==
+                          std::numeric_limits<std::int64_t>::max() ||
                       a.max_start_b < 0) {
                     return;  // needs occurrences in both words and θ >= 1
                   }
@@ -135,13 +137,23 @@ int longest_common_substring_suffix_tree(SymbolView a, SymbolView b) {
   aggregate_dfs(tree, a.size(), b.size(),
                 [&](int v, const NodeAggregate& agg) {
                   if (tree.is_leaf(v) ||
-                      agg.min_start_a == std::numeric_limits<std::int64_t>::max() ||
+                      agg.min_start_a ==
+                          std::numeric_limits<std::int64_t>::max() ||
                       agg.max_start_b < 0) {
                     return;
                   }
                   best = std::max(best, tree.string_depth(v));
                 });
   return best;
+}
+
+int longest_common_substring(SymbolView a, SymbolView b) {
+  strings::PackedBuf pa;
+  strings::PackedBuf pb;
+  if (strings::try_pack_pair(a, b, pa, pb)) {
+    return strings::longest_common_substring_packed(pa, pb);
+  }
+  return longest_common_substring_suffix_tree(a, b);
 }
 
 }  // namespace dbn

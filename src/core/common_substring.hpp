@@ -36,4 +36,11 @@ strings::OverlapMin min_l_cost_suffix_tree(strings::SymbolView x,
 int longest_common_substring_suffix_tree(strings::SymbolView a,
                                          strings::SymbolView b);
 
+/// Packed-first front for the same quantity: the word-parallel offset
+/// sweep (strings/packed.hpp) when both words fit a 128-bit lane, the
+/// generalized suffix tree otherwise. Same result either way — the packed
+/// kernel is differentially tested against both the suffix tree and the
+/// naive enumeration.
+int longest_common_substring(strings::SymbolView a, strings::SymbolView b);
+
 }  // namespace dbn

@@ -4,7 +4,8 @@
 
 namespace dbn {
 
-strings::OverlapMin r_side_from_reversed(int k, const strings::OverlapMin& rev) {
+strings::OverlapMin r_side_from_reversed(int k,
+                                         const strings::OverlapMin& rev) {
   strings::OverlapMin out;
   out.cost = rev.cost;
   out.s = k + 1 - rev.s;
@@ -60,14 +61,23 @@ BidiPlan make_bidi_plan(int k, const strings::OverlapMin& l_side,
 
 RoutingPath build_bidi_path(const Word& x, const Word& y, const BidiPlan& plan,
                             WildcardMode mode) {
+  RoutingPath path;
+  build_bidi_path_into(x, y, plan, mode, path);
+  return path;
+}
+
+void build_bidi_path_into(const Word& x, const Word& y, const BidiPlan& plan,
+                          WildcardMode mode, RoutingPath& path) {
   DBN_REQUIRE(x.radix() == y.radix() && x.length() == y.length(),
               "route endpoints must share radix and length");
   const int k = static_cast<int>(x.length());
   const Digit arbitrary = (mode == WildcardMode::Wildcards) ? kWildcard : 0;
   // y_i in the paper's 1-based indexing.
-  const auto yd = [&y](int i) { return y.digit(static_cast<std::size_t>(i - 1)); };
+  const auto yd = [&y](int i) {
+    return y.digit(static_cast<std::size_t>(i - 1));
+  };
 
-  RoutingPath path;
+  path.clear();
   switch (plan.shape) {
     case BidiPlan::Shape::Trivial:
       for (int i = 1; i <= k; ++i) {
@@ -120,7 +130,6 @@ RoutingPath build_bidi_path(const Word& x, const Word& y, const BidiPlan& plan,
   // The paper's correctness claim for all three shapes: the path reaches y
   // under any wildcard resolution (zero resolver as the spot-check).
   DBN_AUDIT(path.apply(x) == y, "constructed path must reach the destination");
-  return path;
 }
 
 }  // namespace dbn

@@ -48,4 +48,9 @@ BidiPlan make_bidi_plan(int k, const strings::OverlapMin& l_side,
 RoutingPath build_bidi_path(const Word& x, const Word& y, const BidiPlan& plan,
                             WildcardMode mode);
 
+/// Same emission writing into `out` (cleared first) so callers can reuse
+/// the path's storage — the allocation-free engines route through this.
+void build_bidi_path_into(const Word& x, const Word& y, const BidiPlan& plan,
+                          WildcardMode mode, RoutingPath& out);
+
 }  // namespace dbn

@@ -3,19 +3,61 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "core/common_substring.hpp"
 #include "core/route_trace.hpp"
 #include "obs/trace.hpp"
+#include "strings/packed.hpp"
 
 namespace dbn {
 
-BidirectionalRouteEngine::BidirectionalRouteEngine(std::size_t max_k)
-    : max_k_(max_k) {
+BidirectionalRouteEngine::BidirectionalRouteEngine(std::size_t max_k,
+                                                   SideKernelFallback fallback)
+    : max_k_(max_k), fallback_(fallback) {
   DBN_REQUIRE(max_k_ >= 1, "engine needs max_k >= 1");
   x_.reserve(max_k_);
   y_.reserve(max_k_);
   xr_.reserve(max_k_);
   yr_.reserve(max_k_);
   border_.reserve(max_k_);
+}
+
+std::string_view BidirectionalRouteEngine::trace_algo() const {
+  return fallback_ == SideKernelFallback::MpScan ? "bidi-engine"
+                                                 : "bidi-suffix-tree";
+}
+
+bool BidirectionalRouteEngine::packed_minima(const Word& x, const Word& y,
+                                             strings::OverlapMin& l_side,
+                                             strings::OverlapMin& r_side) {
+  const std::uint32_t d = x.radix();
+  const std::size_t k = x.length();
+  if (!strings::packable(d, k)) {
+    return false;
+  }
+  // Two packs (the reversed lanes are O(log) cell reversals of the
+  // forward ones) plus two pruned offset sweeps replace the two O(k^2)
+  // Algorithm 3 scans. The r-side runs on the reversed words and maps
+  // back through the same reduction the scalar path uses; it sweeps
+  // against the l-side incumbent, which is sound because the route only
+  // needs the winning side's witness (see min_l_cost_packed_bounded).
+  const strings::PackedBuf px = strings::pack_word(x.symbols(), d);
+  const strings::PackedBuf py = strings::pack_word(y.symbols(), d);
+  l_side = strings::min_l_cost_packed(px, py);
+  r_side = r_side_from_reversed(
+      static_cast<int>(k),
+      strings::min_l_cost_packed_bounded(strings::reverse_cells(px),
+                                         strings::reverse_cells(py),
+                                         l_side.cost));
+  return true;
+}
+
+strings::OverlapMin BidirectionalRouteEngine::side_min_scalar(
+    const std::vector<strings::Symbol>& x,
+    const std::vector<strings::Symbol>& y, std::size_t k) {
+  if (fallback_ == SideKernelFallback::SuffixTree) {
+    return min_l_cost_suffix_tree(x, y);
+  }
+  return min_l_cost_inplace(x, y, k);
 }
 
 strings::OverlapMin BidirectionalRouteEngine::min_l_cost_inplace(
@@ -92,13 +134,18 @@ int BidirectionalRouteEngine::distance(const Word& x, const Word& y) {
               "distance endpoints must share radix and length");
   const std::size_t k = x.length();
   DBN_REQUIRE(k <= max_k_, "word longer than the engine's max_k");
-  x_.assign(x.symbols().begin(), x.symbols().end());
-  y_.assign(y.symbols().begin(), y.symbols().end());
-  xr_.assign(x.symbols().rbegin(), x.symbols().rend());
-  yr_.assign(y.symbols().rbegin(), y.symbols().rend());
-  const int d1 = min_l_cost_inplace(x_, y_, k).cost;
-  const int d2 = min_l_cost_inplace(xr_, yr_, k).cost;
-  const int d = std::min(d1, d2);
+  strings::OverlapMin l_side;
+  strings::OverlapMin r_side;
+  if (!packed_minima(x, y, l_side, r_side)) {
+    x_.assign(x.symbols().begin(), x.symbols().end());
+    y_.assign(y.symbols().begin(), y.symbols().end());
+    xr_.assign(x.symbols().rbegin(), x.symbols().rend());
+    yr_.assign(y.symbols().rbegin(), y.symbols().rend());
+    l_side = side_min_scalar(x_, y_, k);
+    r_side = r_side_from_reversed(static_cast<int>(k),
+                                  side_min_scalar(xr_, yr_, k));
+  }
+  const int d = std::min(l_side.cost, r_side.cost);
   DBN_ENSURE(d >= 0 && d <= static_cast<int>(k),
              "undirected distance must lie in [0, k]");
   return d;
@@ -111,63 +158,21 @@ void BidirectionalRouteEngine::route_into(const Word& x, const Word& y,
               "route endpoints must share radix and length");
   const std::size_t k = x.length();
   DBN_REQUIRE(k <= max_k_, "word longer than the engine's max_k");
-  x_.assign(x.symbols().begin(), x.symbols().end());
-  y_.assign(y.symbols().begin(), y.symbols().end());
-  xr_.assign(x.symbols().rbegin(), x.symbols().rend());
-  yr_.assign(y.symbols().rbegin(), y.symbols().rend());
-  const strings::OverlapMin l_side = min_l_cost_inplace(x_, y_, k);
-  const strings::OverlapMin r_side = r_side_from_reversed(
-      static_cast<int>(k), min_l_cost_inplace(xr_, yr_, k));
-  const BidiPlan plan = make_bidi_plan(static_cast<int>(k), l_side, r_side);
-  // Emit hops directly (same shapes as build_bidi_path, minus allocation).
-  out.clear();
-  const Digit arbitrary = (mode == WildcardMode::Wildcards) ? kWildcard : 0;
-  const auto yd = [&y](int i) {
-    return y.digit(static_cast<std::size_t>(i - 1));
-  };
-  const int ki = static_cast<int>(k);
-  switch (plan.shape) {
-    case BidiPlan::Shape::Trivial:
-      for (int i = 1; i <= ki; ++i) {
-        out.push({ShiftType::Left, yd(i)});
-      }
-      break;
-    case BidiPlan::Shape::LeftBlock:
-      for (int i = 0; i < plan.s - 1; ++i) {
-        out.push({ShiftType::Left, arbitrary});
-      }
-      for (int i = plan.t - plan.theta; i >= 1; --i) {
-        out.push({ShiftType::Right, yd(i)});
-      }
-      for (int i = 0; i < ki - plan.t; ++i) {
-        out.push({ShiftType::Right, arbitrary});
-      }
-      for (int i = plan.t + 1; i <= ki; ++i) {
-        out.push({ShiftType::Left, yd(i)});
-      }
-      break;
-    case BidiPlan::Shape::RightBlock:
-      for (int i = 0; i < ki - plan.s; ++i) {
-        out.push({ShiftType::Right, arbitrary});
-      }
-      for (int i = plan.t + plan.theta; i <= ki; ++i) {
-        out.push({ShiftType::Left, yd(i)});
-      }
-      for (int i = 0; i < plan.t - 1; ++i) {
-        out.push({ShiftType::Left, arbitrary});
-      }
-      for (int i = plan.t - 1; i >= 1; --i) {
-        out.push({ShiftType::Right, yd(i)});
-      }
-      break;
+  strings::OverlapMin l_side;
+  strings::OverlapMin r_side;
+  if (!packed_minima(x, y, l_side, r_side)) {
+    x_.assign(x.symbols().begin(), x.symbols().end());
+    y_.assign(y.symbols().begin(), y.symbols().end());
+    xr_.assign(x.symbols().rbegin(), x.symbols().rend());
+    yr_.assign(y.symbols().rbegin(), y.symbols().rend());
+    l_side = side_min_scalar(x_, y_, k);
+    r_side = r_side_from_reversed(static_cast<int>(k),
+                                  side_min_scalar(xr_, yr_, k));
   }
-  DBN_ASSERT(static_cast<int>(out.length()) == plan.distance,
-             "constructed path length must equal the planned distance");
-  // Theorem 2 promises the path reaches y under *any* wildcard resolution;
-  // walking it with the zero resolver is a sound spot-check.
-  DBN_AUDIT(out.apply(x) == y, "constructed path must reach the destination");
+  const BidiPlan plan = make_bidi_plan(static_cast<int>(k), l_side, r_side);
+  build_bidi_path_into(x, y, plan, mode, out);
   if (obs::tracing_enabled()) {
-    trace_bidi_route("bidi-engine", x, y, plan, out);
+    trace_bidi_route(trace_algo(), x, y, plan, out);
   }
 }
 

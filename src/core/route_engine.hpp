@@ -4,14 +4,20 @@
 // implemented, the constant factors of our linear algorithms are low
 // enough to make these algorithms of practical use."
 //
-// The biggest constant factor in this codebase's Algorithm 2 is per-call
-// allocation (failure-function rows, reversed copies, path storage). This
-// engine hoists every buffer into a reusable object: route() performs no
-// heap allocation once warmed up (beyond growing the returned path in
-// place). One engine per thread. The ablation benchmark
-// (bench_route_engine) measures the gain.
+// Two mechanical transformations live here. First, every buffer is
+// hoisted into a reusable object so route() performs no heap allocation
+// once warmed up (beyond growing the returned path in place). Second,
+// whenever the endpoints fit a 128-bit packed lane (strings/packed.hpp:
+// d <= 4 up to k = 64, d <= 16 up to k = 32 — every network the paper's
+// figures discuss), the Theorem 2 side minima are computed by the
+// word-parallel offset sweep instead of the per-symbol Algorithm 3 scan;
+// the scalar kernels remain as the fallback for larger alphabets and
+// diameters. One engine per thread. The ablation benchmark
+// (bench_route_engine) measures the gain; the packed-vs-scalar
+// differential battery pins the equivalence.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "core/path.hpp"
@@ -21,28 +27,57 @@
 
 namespace dbn {
 
+/// Which scalar kernel computes the side minima when the endpoints do not
+/// pack: the Algorithm 2/3 Morris–Pratt scan (O(k^2), allocation-free
+/// once warmed) or the Algorithm 4 generalized suffix tree (O(k), but it
+/// allocates per query). Both feed the identical plan/emission machinery,
+/// so the choice only shows in the unpackable regime.
+enum class SideKernelFallback { MpScan, SuffixTree };
+
 class BidirectionalRouteEngine {
  public:
   /// Buffers are sized for diameters up to max_k.
-  explicit BidirectionalRouteEngine(std::size_t max_k);
+  explicit BidirectionalRouteEngine(
+      std::size_t max_k,
+      SideKernelFallback fallback = SideKernelFallback::MpScan);
 
-  /// Exact undirected distance (Theorem 2), no allocation.
+  /// Exact undirected distance (Theorem 2); no allocation when the words
+  /// pack or the MpScan fallback runs.
   int distance(const Word& x, const Word& y);
 
-  /// Shortest path equal to route_bidirectional_mp's, writing into the
-  /// caller's path object (cleared first) so storage is reused.
+  /// A shortest path of the same length as route_bidirectional_mp's,
+  /// writing into the caller's path object (cleared first) so storage is
+  /// reused. The Theorem 2 witness — and with it the placement of the
+  /// arbitrary/wildcard digits — may differ between the packed and scalar
+  /// kernels; every witness satisfies the same shape contracts.
   void route_into(const Word& x, const Word& y, WildcardMode mode,
                   RoutingPath& out);
 
   std::size_t max_k() const { return max_k_; }
+  SideKernelFallback fallback() const { return fallback_; }
 
  private:
-  /// The l-side minimum over (x, y) given as raw digit buffers.
+  /// Packed side minima for both orientations; false when (d, k) does not
+  /// fit the lane and the caller must take the scalar path.
+  bool packed_minima(const Word& x, const Word& y,
+                     strings::OverlapMin& l_side, strings::OverlapMin& r_side);
+
+  /// The l-side minimum over raw digit buffers via the configured scalar
+  /// fallback kernel.
+  strings::OverlapMin side_min_scalar(const std::vector<strings::Symbol>& x,
+                                      const std::vector<strings::Symbol>& y,
+                                      std::size_t k);
+
+  /// The l-side minimum via the reusable Morris–Pratt row buffers.
   strings::OverlapMin min_l_cost_inplace(const std::vector<strings::Symbol>& x,
                                          const std::vector<strings::Symbol>& y,
                                          std::size_t k);
 
+  /// The algo label this engine traces route spans under.
+  std::string_view trace_algo() const;
+
   std::size_t max_k_;
+  SideKernelFallback fallback_;
   std::vector<strings::Symbol> x_, y_, xr_, yr_;
   std::vector<int> border_;
 };

@@ -1,0 +1,83 @@
+// A bit-packed vertex of DG(d,k): the digits of a Word in one 128-bit
+// lane (strings::PackedBuf) instead of a heap vector.
+//
+// PackedWord mirrors Word's shift/rank/compare API digit for digit so the
+// two representations are interchangeable wherever they both exist —
+// tests/test_packed_word.cpp pins the equivalence exhaustively. It exists
+// for the hot paths: a shift is two lane operations instead of a
+// std::rotate, equality is one integer compare, and the packed matching
+// kernels (strings/packed.hpp) consume the buffer directly. The
+// representation covers d <= 4 up to k = 64 and d <= 16 up to k = 32
+// (strings::packable); larger networks stay on Word.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "debruijn/word.hpp"
+#include "strings/packed.hpp"
+
+namespace dbn {
+
+class PackedWord {
+ public:
+  /// The all-zero word of length k. Requires PackedWord::packable(radix, k).
+  PackedWord(std::uint32_t radix, std::size_t k);
+
+  /// Whether DG(radix, k) vertices fit the packed representation.
+  static bool packable(std::uint32_t radix, std::size_t k);
+
+  /// Conversions to and from the vector-backed representation.
+  static PackedWord from_word(const Word& w);
+  Word to_word() const;
+
+  /// Same contract as Word::from_rank / Word::rank.
+  static PackedWord from_rank(std::uint32_t radix, std::size_t k,
+                              std::uint64_t rank);
+  std::uint64_t rank() const;
+
+  std::uint32_t radix() const { return radix_; }
+  std::size_t length() const { return buf_.size; }
+
+  /// x_{i+1} in the paper's 1-based notation; i in [0, k).
+  Digit digit(std::size_t i) const;
+  void set_digit(std::size_t i, Digit v);
+
+  /// X^-(a): drop the first digit, append a (type-L neighbor).
+  PackedWord left_shift(Digit a) const;
+  /// X^+(a): prepend a, drop the last digit (type-R neighbor).
+  PackedWord right_shift(Digit a) const;
+  void left_shift_inplace(Digit a);
+  void right_shift_inplace(Digit a);
+
+  /// The reversal (x_k, ..., x_1).
+  PackedWord reversed() const;
+
+  /// The underlying lane, consumable by the strings::*_packed kernels.
+  const strings::PackedBuf& packed() const { return buf_; }
+
+  friend bool operator==(const PackedWord& a, const PackedWord& b) = default;
+  /// Lexicographic digit order, matching Word's ordering.
+  friend std::strong_ordering operator<=>(const PackedWord& a,
+                                          const PackedWord& b);
+
+ private:
+  std::uint32_t radix_ = 0;
+  strings::PackedBuf buf_;
+};
+
+}  // namespace dbn
+
+template <>
+struct std::hash<dbn::PackedWord> {
+  std::size_t operator()(const dbn::PackedWord& w) const noexcept {
+    // Same digit-fold as std::hash<Word> so mixed-representation tables
+    // hash equal vertices identically.
+    std::size_t h = 0xcbf29ce484222325ull ^ w.radix();
+    for (std::size_t i = 0; i < w.length(); ++i) {
+      h ^= w.digit(i);
+      h *= 0x100000001b3ull;
+    }
+    return h;
+  }
+};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contract.hpp"
+#include "strings/packed.hpp"
 
 namespace dbn::strings {
 
@@ -42,6 +43,20 @@ int suffix_prefix_overlap(SymbolView x, SymbolView y) {
   if (x.empty() || y.empty()) {
     return 0;
   }
+  // Word-parallel fast path: when both words fit one packed lane the
+  // overlap is a handful of shift-and-compare lane ops and, unlike the
+  // Morris–Pratt automaton below, needs no failure-function allocation.
+  // Differentially pinned against the scalar path by test_packed_kernels.
+  PackedBuf px;
+  PackedBuf py;
+  if (try_pack_pair(x, y, px, py)) {
+    const int overlap = suffix_prefix_overlap_packed(px, py);
+    DBN_ENSURE(
+        overlap >= 0 &&
+            overlap <= static_cast<int>(std::min(x.size(), y.size())),
+        "suffix/prefix overlap must fit in both words");
+    return overlap;
+  }
   const std::vector<int> border = border_array(y);
   int q = 0;  // invariant: longest prefix of y that is a suffix of the
               // processed part of x
@@ -68,6 +83,12 @@ std::vector<std::size_t> kmp_find_all(SymbolView text, SymbolView pattern) {
     for (std::size_t i = 0; i <= text.size(); ++i) {
       hits[i] = i;
     }
+    return hits;
+  }
+  PackedBuf ptext;
+  PackedBuf ppattern;
+  if (try_pack_pair(text, pattern, ptext, ppattern)) {
+    find_all_packed(ptext, ppattern, hits);
     return hits;
   }
   const std::vector<int> border = border_array(pattern);

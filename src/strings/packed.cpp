@@ -1,0 +1,453 @@
+#include "strings/packed.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/contract.hpp"
+
+namespace dbn::strings {
+
+namespace {
+
+constexpr __uint128_t splat(std::uint64_t half) {
+  return (static_cast<__uint128_t>(half) << 64) | half;
+}
+
+// Per-cell low-bit masks: one set bit at the bottom of every 2-bit (resp.
+// 4-bit) cell of the lane.
+constexpr __uint128_t kLsb2 = splat(0x5555555555555555ull);
+constexpr __uint128_t kLsb4 = splat(0x1111111111111111ull);
+
+constexpr std::uint32_t kLaneBits = 128;
+
+// The kernels below are templated on the lane type: a 128-bit lane covers
+// every packable word, but when the word fits 64 bits (e.g. the whole of
+// DG(2, k <= 32)) every shift/XOR/mask in the sweep is a single-register
+// op instead of a carried pair, which roughly halves the kernel cost on
+// the words the routing benchmarks actually use. Dispatch is one
+// comparison per call (width * size <= 64).
+
+template <typename Lane>
+constexpr Lane lane_splat(std::uint64_t half) {
+  if constexpr (sizeof(Lane) == 8) {
+    return half;
+  } else {
+    return (static_cast<Lane>(half) << 64) | half;
+  }
+}
+
+// The low `bits` bits set (bits <= bit width of Lane).
+template <typename Lane>
+Lane low_mask_t(std::uint32_t bits) {
+  if (bits >= sizeof(Lane) * 8) {
+    return ~static_cast<Lane>(0);
+  }
+  return (static_cast<Lane>(1) << bits) - 1;
+}
+
+__uint128_t low_mask(std::uint32_t bits) {
+  return low_mask_t<__uint128_t>(bits);
+}
+
+template <typename Lane>
+int lane_ctz(Lane v) {
+  if constexpr (sizeof(Lane) == 8) {
+    return std::countr_zero(v);
+  } else {
+    const auto lo = static_cast<std::uint64_t>(v);
+    if (lo != 0) {
+      return std::countr_zero(lo);
+    }
+    return 64 + std::countr_zero(static_cast<std::uint64_t>(v >> 64));
+  }
+}
+
+int countr_zero128(__uint128_t v) { return lane_ctz(v); }
+
+// Per-cell equality mask: bit i*width is set iff cell i of a equals cell i
+// of b, for the first `cells` cells; everything above is cleared.
+template <typename Lane>
+Lane eq_mask_t(const Lane a, const Lane b, std::uint32_t width,
+               std::uint32_t cells) {
+  Lane t = a ^ b;
+  // OR-fold each cell's difference bits onto the cell's low bit, then
+  // invert: a zero cell (equal digits) becomes a set low bit.
+  if (width == 2) {
+    t |= t >> 1;
+    return ~t & lane_splat<Lane>(0x5555555555555555ull) &
+           low_mask_t<Lane>(2 * cells);
+  }
+  t |= t >> 2;
+  t |= t >> 1;
+  return ~t & lane_splat<Lane>(0x1111111111111111ull) &
+         low_mask_t<Lane>(4 * cells);
+}
+
+__uint128_t eq_mask(const __uint128_t a, const __uint128_t b,
+                    std::uint32_t width, std::uint32_t cells) {
+  return eq_mask_t(a, b, width, cells);
+}
+
+// Longest run of consecutive set cells in an equality mask, plus the index
+// of the first cell of one longest run. The fold m &= m >> width leaves,
+// after t rounds, exactly the cells that start a run of length > t; the
+// last non-empty mask therefore marks the starts of the longest runs.
+struct Run {
+  int length = 0;
+  int start = 0;
+};
+
+template <typename Lane>
+Run longest_run_t(Lane m, std::uint32_t width) {
+  Run run;
+  while (m != 0) {
+    run.start = lane_ctz(m) / static_cast<int>(width);
+    ++run.length;
+    m &= m >> width;
+  }
+  return run;
+}
+
+Run longest_run(__uint128_t m, std::uint32_t width) {
+  return longest_run_t(m, width);
+}
+
+// Number of leading (lowest-index) consecutive set cells of an equality
+// mask covering `cells` cells.
+int leading_matches(__uint128_t mask, std::uint32_t width,
+                    std::uint32_t cells) {
+  const __uint128_t lsb = (width == 2) ? kLsb2 : kLsb4;
+  const __uint128_t holes = ~mask & lsb & low_mask(width * cells);
+  if (holes == 0) {
+    return static_cast<int>(cells);
+  }
+  return countr_zero128(holes) / static_cast<int>(width);
+}
+
+// The l-side offset sweep (see min_l_cost_packed's header comment for the
+// derivation). `bound` is an external incumbent: offsets whose cost lower
+// bound reaches min(best, bound) are skipped, so the result is the exact
+// minimum whenever that minimum is below `bound`.
+template <typename Lane>
+OverlapMin side_sweep(const Lane xbits, const Lane ybits, const int k,
+                      const std::uint32_t width, const int bound) {
+  // θ = 0 baseline: cost 2k-1+i-j is minimal at (i, j) = (1, k), value k.
+  OverlapMin best{k, 1, k, 0};
+  // c >= 0: y shifted down by c cells, window k-c; a run starting at mask
+  // cell p is the block x[p..p+θ-1] == y[p+c..p+c+θ-1], i.e. the witness
+  // (s, t, θ) = (p+1, p+c+θ, θ) of cost 2k - c - 2θ. Runs are bounded by
+  // the window, so cost(c) >= 2k - c - 2(k-c) = c: once c reaches the
+  // incumbent the rest of the sweep cannot improve it.
+  for (int c = 0; c < k && c < best.cost && c < bound; ++c) {
+    const Lane mask =
+        eq_mask_t(xbits, static_cast<Lane>(
+                             ybits >> (static_cast<std::uint32_t>(c) * width)),
+                  width, static_cast<std::uint32_t>(k - c));
+    const Run run = longest_run_t(mask, width);
+    if (run.length == 0) {
+      continue;
+    }
+    const int cost = 2 * k - c - 2 * run.length;
+    if (cost < best.cost) {
+      best = OverlapMin{cost, run.start + 1, run.start + c + run.length,
+                        run.length};
+    }
+  }
+  // c < 0 (shift x down by a = -c): mask cell p is the block
+  // x[p+a..p+a+θ-1] == y[p..p+θ-1], witness (p+a+1, p+θ, θ) of cost
+  // 2k + a - 2θ >= 2k + a - 2(k-a) = 3a.
+  for (int a = 1; a < k && 3 * a < best.cost && 3 * a < bound; ++a) {
+    const Lane mask =
+        eq_mask_t(static_cast<Lane>(
+                      xbits >> (static_cast<std::uint32_t>(a) * width)),
+                  ybits, width, static_cast<std::uint32_t>(k - a));
+    const Run run = longest_run_t(mask, width);
+    if (run.length == 0) {
+      continue;
+    }
+    const int cost = 2 * k + a - 2 * run.length;
+    if (cost < best.cost) {
+      best = OverlapMin{cost, run.start + a + 1, run.start + run.length,
+                        run.length};
+    }
+  }
+  return best;
+}
+
+std::uint64_t byteswap64(std::uint64_t v) { return __builtin_bswap64(v); }
+
+void check_pair(const PackedBuf& x, const PackedBuf& y) {
+  DBN_REQUIRE(x.width == y.width && (x.width == 2 || x.width == 4),
+              "packed kernels need two buffers of one common width");
+}
+
+}  // namespace
+
+std::uint32_t PackedBuf::get(std::size_t i) const {
+  DBN_REQUIRE(i < size, "PackedBuf::get out of range");
+  return static_cast<std::uint32_t>(bits >> (i * width)) &
+         ((1u << width) - 1);
+}
+
+void PackedBuf::set(std::size_t i, std::uint32_t v) {
+  DBN_REQUIRE(i < size, "PackedBuf::set out of range");
+  DBN_REQUIRE(v < (1u << width), "PackedBuf::set digit exceeds the width");
+  const std::uint32_t shift = static_cast<std::uint32_t>(i) * width;
+  bits &= ~(static_cast<__uint128_t>((1u << width) - 1) << shift);
+  bits |= static_cast<__uint128_t>(v) << shift;
+}
+
+std::uint32_t packed_width(std::uint64_t alphabet) {
+  if (alphabet <= 4) {
+    return 2;
+  }
+  if (alphabet <= 16) {
+    return 4;
+  }
+  return 0;
+}
+
+bool packable(std::uint64_t alphabet, std::size_t size) {
+  const std::uint32_t width = packed_width(alphabet);
+  return width != 0 && width * size <= kLaneBits;
+}
+
+PackedBuf pack_word(SymbolView word, std::uint64_t alphabet) {
+  DBN_REQUIRE(packable(alphabet, word.size()),
+              "pack_word requires a packable (alphabet, length)");
+  PackedBuf out;
+  out.width = packed_width(alphabet);
+  out.size = static_cast<std::uint32_t>(word.size());
+  if (out.width * out.size <= 64) {
+    // Accumulate in one register when the word fits 64 bits — the hot
+    // shape for the routing benchmarks (all of DG(d <= 4, k <= 32)).
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      DBN_REQUIRE(word[i] < alphabet, "pack_word digit exceeds the alphabet");
+      acc |= static_cast<std::uint64_t>(word[i]) << (i * out.width);
+    }
+    out.bits = acc;
+    return out;
+  }
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    DBN_REQUIRE(word[i] < alphabet, "pack_word digit exceeds the alphabet");
+    out.bits |= static_cast<__uint128_t>(word[i]) << (i * out.width);
+  }
+  return out;
+}
+
+PackedBuf pack_reversed(SymbolView word, std::uint64_t alphabet) {
+  DBN_REQUIRE(packable(alphabet, word.size()),
+              "pack_reversed requires a packable (alphabet, length)");
+  PackedBuf out;
+  out.width = packed_width(alphabet);
+  out.size = static_cast<std::uint32_t>(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const Symbol digit = word[word.size() - 1 - i];
+    DBN_REQUIRE(digit < alphabet, "pack_reversed digit exceeds the alphabet");
+    out.bits |= static_cast<__uint128_t>(digit) << (i * out.width);
+  }
+  return out;
+}
+
+PackedBuf reverse_cells(const PackedBuf& p) {
+  DBN_REQUIRE(p.width == 2 || p.width == 4,
+              "reverse_cells needs a packed buffer");
+  // Butterfly reversal: swap the lane halves, then bytes within halves,
+  // then nibbles within bytes, then (at width 2) digit pairs within
+  // nibbles. That reverses all lane cells, leaving the word's cells in the
+  // high end of the lane; the final shift re-aligns cell 0 to the bottom.
+  const auto hi = static_cast<std::uint64_t>(p.bits >> 64);
+  const auto lo = static_cast<std::uint64_t>(p.bits);
+  std::uint64_t a = byteswap64(lo);
+  std::uint64_t b = byteswap64(hi);
+  a = ((a & 0xF0F0F0F0F0F0F0F0ull) >> 4) | ((a & 0x0F0F0F0F0F0F0F0Full) << 4);
+  b = ((b & 0xF0F0F0F0F0F0F0F0ull) >> 4) | ((b & 0x0F0F0F0F0F0F0F0Full) << 4);
+  if (p.width == 2) {
+    a = ((a & 0xCCCCCCCCCCCCCCCCull) >> 2) |
+        ((a & 0x3333333333333333ull) << 2);
+    b = ((b & 0xCCCCCCCCCCCCCCCCull) >> 2) |
+        ((b & 0x3333333333333333ull) << 2);
+  }
+  const __uint128_t reversed = (static_cast<__uint128_t>(a) << 64) | b;
+  PackedBuf out;
+  out.width = p.width;
+  out.size = p.size;
+  out.bits = p.size == 0 ? 0 : reversed >> (kLaneBits - p.size * p.width);
+  return out;
+}
+
+bool try_pack(SymbolView word, std::uint32_t width, PackedBuf& out) {
+  if ((width != 2 && width != 4) || width * word.size() > kLaneBits) {
+    return false;
+  }
+  out = PackedBuf{};
+  out.width = width;
+  out.size = static_cast<std::uint32_t>(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    if (word[i] >= (1u << width)) {
+      return false;
+    }
+    out.bits |= static_cast<__uint128_t>(word[i]) << (i * width);
+  }
+  return true;
+}
+
+bool try_pack_pair(SymbolView x, SymbolView y, PackedBuf& px, PackedBuf& py) {
+  Symbol top = 0;
+  for (const Symbol c : x) {
+    top = std::max(top, c);
+  }
+  for (const Symbol c : y) {
+    top = std::max(top, c);
+  }
+  if (top >= 16) {
+    return false;
+  }
+  const std::uint32_t width = packed_width(static_cast<std::uint64_t>(top) + 1);
+  return try_pack(x, width, px) && try_pack(y, width, py);
+}
+
+std::vector<Symbol> unpack(const PackedBuf& p) {
+  std::vector<Symbol> out(p.size);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = p.get(i);
+  }
+  return out;
+}
+
+int suffix_prefix_overlap_packed(const PackedBuf& x, const PackedBuf& y) {
+  check_pair(x, y);
+  const std::uint32_t width = x.width;
+  // Longest s first: the suffix of x of length s is the whole lane shifted
+  // down (the invariant keeps the bits above cell size-1 zero), and the
+  // prefix of y of length s is a low mask.
+  for (std::uint32_t s = std::min(x.size, y.size); s >= 1; --s) {
+    if ((x.bits >> ((x.size - s) * width)) ==
+        (y.bits & low_mask(s * width))) {
+      return static_cast<int>(s);
+    }
+  }
+  return 0;
+}
+
+OverlapMin min_l_cost_packed(const PackedBuf& x, const PackedBuf& y) {
+  return min_l_cost_packed_bounded(x, y, kNoSweepBound);
+}
+
+OverlapMin min_l_cost_packed_bounded(const PackedBuf& x, const PackedBuf& y,
+                                     int bound) {
+  check_pair(x, y);
+  DBN_REQUIRE(x.size >= 1 && x.size == y.size,
+              "min_l_cost_packed requires two non-empty words of equal "
+              "length");
+  const int k = static_cast<int>(x.size);
+  const std::uint32_t width = x.width;
+  const OverlapMin best =
+      x.size * width <= 64
+          ? side_sweep(static_cast<std::uint64_t>(x.bits),
+                       static_cast<std::uint64_t>(y.bits), k, width, bound)
+          : side_sweep(x.bits, y.bits, k, width, bound);
+  DBN_ASSERT(best.cost <= k, "l-side minimum must not exceed the diameter");
+  // Same witness contract as the scalar kernels (range, cost identity).
+  DBN_ENSURE(best.s >= 1 && best.s <= k && best.t >= 1 && best.t <= k &&
+                 best.theta >= 0 && best.theta <= best.t &&
+                 best.theta <= k - best.s + 1,
+             "packed l-side witness (s, t, theta) out of range");
+  DBN_ENSURE(best.cost == 2 * k - 1 + best.s - best.t - best.theta,
+             "packed l-side witness does not reproduce its cost");
+  DBN_AUDIT(
+      [&] {
+        for (int m = 0; m < best.theta; ++m) {
+          if (x.get(static_cast<std::size_t>(best.s - 1 + m)) !=
+              y.get(static_cast<std::size_t>(best.t - best.theta + m))) {
+            return false;
+          }
+        }
+        return true;
+      }(),
+      "packed l-side witness block does not match");
+  return best;
+}
+
+int longest_common_substring_packed(const PackedBuf& a, const PackedBuf& b) {
+  check_pair(a, b);
+  const std::uint32_t width = a.width;
+  int best = 0;
+  // Every common substring occurrence lives at one alignment offset; the
+  // window length bounds the best run, so each sweep stops as soon as the
+  // remaining windows are no longer than the incumbent.
+  for (std::uint32_t c = 0; c < b.size; ++c) {
+    const std::uint32_t window = std::min(a.size, b.size - c);
+    if (static_cast<int>(window) <= best) {
+      break;
+    }
+    const __uint128_t mask =
+        eq_mask(a.bits, b.bits >> (c * width), width, window);
+    best = std::max(best, longest_run(mask, width).length);
+  }
+  for (std::uint32_t c = 1; c < a.size; ++c) {
+    const std::uint32_t window = std::min(a.size - c, b.size);
+    if (static_cast<int>(window) <= best) {
+      break;
+    }
+    const __uint128_t mask =
+        eq_mask(a.bits >> (c * width), b.bits, width, window);
+    best = std::max(best, longest_run(mask, width).length);
+  }
+  return best;
+}
+
+void border_array_packed(const PackedBuf& p, std::vector<int>& out) {
+  const std::size_t n = p.size;
+  out.assign(n, 0);
+  if (n <= 1) {
+    return;
+  }
+  DBN_REQUIRE(p.width == 2 || p.width == 4,
+              "border_array_packed needs a packed buffer");
+  // lead[c] = number of leading cells where p matches p shifted by c. The
+  // prefix p[0..i] has a border of length s = i+1-c exactly when
+  // lead[c] >= s, so border[i] is i+1-c for the smallest feasible c.
+  // n <= 64 cells bounds the quadratic fill at a few thousand word ops.
+  std::vector<int> lead(n, 0);
+  for (std::uint32_t c = 1; c < n; ++c) {
+    const __uint128_t mask =
+        eq_mask(p.bits, p.bits >> (c * p.width), p.width,
+                static_cast<std::uint32_t>(n) - c);
+    lead[c] = leading_matches(mask, p.width,
+                              static_cast<std::uint32_t>(n) - c);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    for (std::size_t c = 1; c <= i; ++c) {
+      if (lead[c] >= static_cast<int>(i + 1 - c)) {
+        out[i] = static_cast<int>(i + 1 - c);
+        break;
+      }
+    }
+  }
+}
+
+void find_all_packed(const PackedBuf& text, const PackedBuf& pattern,
+                     std::vector<std::size_t>& out) {
+  out.clear();
+  if (pattern.size == 0) {
+    for (std::size_t i = 0; i <= text.size; ++i) {
+      out.push_back(i);
+    }
+    return;
+  }
+  if (pattern.size > text.size) {
+    return;
+  }
+  check_pair(text, pattern);
+  const __uint128_t want = pattern.bits;
+  const __uint128_t window = low_mask(pattern.size * pattern.width);
+  for (std::uint32_t start = 0; start <= text.size - pattern.size; ++start) {
+    if (((text.bits >> (start * text.width)) & window) == want) {
+      out.push_back(start);
+    }
+  }
+}
+
+}  // namespace dbn::strings

@@ -1,0 +1,134 @@
+// Bit-packed word buffers and the word-parallel (SWAR) matching kernels
+// behind the routing hot paths.
+//
+// Layout: a PackedBuf stores up to 128 bits of digits in one unsigned
+// 128-bit lane. Digit cell i occupies bits [i*width, (i+1)*width), with
+// cell 0 (the paper's x_1) in the least significant bits. The cell width
+// is 2 bits for alphabets up to 4 and 4 bits for alphabets up to 16, so a
+// word packs iff width * length <= 128 — which covers every de Bruijn
+// vertex with d <= 4, k <= 64 and d <= 16, k <= 32. Larger alphabets or
+// longer words fall back to the scalar Morris–Pratt kernels (the callers
+// in failure.cpp / route_engine.cpp dispatch on try_pack).
+//
+// The kernels all reduce to one primitive: a per-cell equality mask
+// between two buffers at a digit offset, computed branch-free by XOR,
+// OR-folding each cell onto its low bit and masking. A run of equal cells
+// is then measured by the classic mask-and-shift fold
+//     while (m) { m &= m >> width; ++len; }
+// which takes max-run iterations of O(1) 128-bit ops instead of a
+// per-symbol automaton walk. Every kernel here has a scalar reference in
+// strings/naive.hpp or strings/matching.hpp; the packed-vs-scalar
+// differential battery (tests/test_packed_kernels.cpp, test_kernel_fuzz)
+// pins the equivalence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "strings/matching.hpp"
+#include "strings/symbol.hpp"
+
+namespace dbn::strings {
+
+/// One packed word: digits in a single 128-bit lane, low cells first.
+/// Invariant: every bit above cell size-1 is zero, and every cell value is
+/// below 2^width (callers pack through pack_word / try_pack, which enforce
+/// both).
+struct PackedBuf {
+  __uint128_t bits = 0;      // cell i at [i*width, (i+1)*width)
+  std::uint32_t width = 0;   // bits per digit cell: 2 or 4
+  std::uint32_t size = 0;    // number of digit cells
+
+  /// Digit in cell i (i < size).
+  std::uint32_t get(std::size_t i) const;
+  /// Overwrites cell i (i < size, v < 2^width).
+  void set(std::size_t i, std::uint32_t v);
+
+  friend bool operator==(const PackedBuf& a, const PackedBuf& b) = default;
+};
+
+/// Cell width needed for digits in [0, alphabet): 2, 4, or 0 when the
+/// alphabet does not pack (> 16).
+std::uint32_t packed_width(std::uint64_t alphabet);
+
+/// Whether a word of `size` digits over [0, alphabet) fits one lane.
+bool packable(std::uint64_t alphabet, std::size_t size);
+
+/// Packs `word` (digits < alphabet) at the width packed_width(alphabet).
+/// Requires packable(alphabet, word.size()).
+PackedBuf pack_word(SymbolView word, std::uint64_t alphabet);
+
+/// Packs the reversal of `word` — the r-side reduction runs the l-side
+/// kernel on reversed words, and packing backwards is free.
+PackedBuf pack_reversed(SymbolView word, std::uint64_t alphabet);
+
+/// The lane with its digit cells in reverse order — equal to packing the
+/// reversed word, but computed from the already-packed lane in O(log)
+/// swap/shift steps instead of another O(k) digit loop. This is how the
+/// route engine derives its r-side lanes from the forward packs.
+PackedBuf reverse_cells(const PackedBuf& p);
+
+/// Packs `word` at an explicit cell width; false when width is 0, a digit
+/// does not fit, or the word overflows the lane. Never throws: this is the
+/// dispatch predicate for symbol views with no known alphabet.
+bool try_pack(SymbolView word, std::uint32_t width, PackedBuf& out);
+
+/// Packs two words at one common width (per-cell comparisons require equal
+/// widths); false when either word fails to pack.
+bool try_pack_pair(SymbolView x, SymbolView y, PackedBuf& px, PackedBuf& py);
+
+/// Digits of `p` back into a vector (differential-test plumbing).
+std::vector<Symbol> unpack(const PackedBuf& p);
+
+/// Longest suffix of x that is a prefix of y — packed counterpart of
+/// suffix_prefix_overlap (Property 1 / Algorithm 1). Requires equal
+/// widths. O(min(|x|, |y|)) single-lane compares, no allocation.
+int suffix_prefix_overlap_packed(const PackedBuf& x, const PackedBuf& y);
+
+/// The l-side Theorem 2 minimum — packed counterpart of min_l_cost.
+///
+/// Works on the offset reformulation of the minimand: a cell run
+/// x[p..p+θ-1] == y[p+c..p+c+θ-1] (0-based, offset c = start(y) - start(x))
+/// is exactly a witness l_{i,j} >= θ at (i, j) = (p+1, p+c+θ) with cost
+///     2k - 1 + i - j - θ  =  2k - c - 2θ,
+/// so  D1 = min(k, min_c (2k - c - 2·maxrun(c)))
+/// with the θ = 0 baseline k attained at (i, j) = (1, k). The sweep visits
+/// offsets in increasing |c| and prunes with the exact lower bounds
+/// cost(c) >= c (c >= 0, run <= k - c) and cost(c) >= 3|c| (c < 0).
+/// Same result contract as strings::min_l_cost: a minimal cost plus a
+/// valid (s, t, theta) witness. Requires equal widths and sizes, size >= 1.
+OverlapMin min_l_cost_packed(const PackedBuf& x, const PackedBuf& y);
+
+/// No external incumbent: min_l_cost_packed_bounded degenerates to the
+/// full sweep (every real cost is below this).
+inline constexpr int kNoSweepBound = 1 << 30;
+
+/// The same sweep pruned against an external incumbent `bound` (e.g. the
+/// other side's minimum): offsets that provably cannot yield a cost below
+/// min(bound, incumbent) are skipped. The returned witness is always
+/// valid and its cost is the exact side minimum whenever that minimum is
+/// below `bound`; otherwise the cost is merely some upper bound >= the
+/// true minimum (and >= `bound`), which is all a caller taking
+/// min(bound, result) needs.
+OverlapMin min_l_cost_packed_bounded(const PackedBuf& x, const PackedBuf& y,
+                                     int bound);
+
+/// Longest common substring length — packed counterpart of
+/// naive::longest_common_substring / the suffix-tree search: the best run
+/// over all offsets. Requires equal widths.
+int longest_common_substring_packed(const PackedBuf& a, const PackedBuf& b);
+
+/// Border array — packed counterpart of border_array. For each shift c the
+/// lane fold yields the number of leading cells where p matches p shifted
+/// by c; border[i] is then i+1-c for the smallest feasible c. Writes into
+/// `out` (resized) so callers can reuse storage.
+void border_array_packed(const PackedBuf& p, std::vector<int>& out);
+
+/// All occurrences of pattern in text — packed counterpart of
+/// kmp_find_all / naive::find_all. One masked compare per start position.
+/// Requires equal widths. Appends nothing on no match; `out` is cleared.
+void find_all_packed(const PackedBuf& text, const PackedBuf& pattern,
+                     std::vector<std::size_t>& out);
+
+}  // namespace dbn::strings

@@ -78,10 +78,17 @@ class Alg4SuffixAutomatonOracle final : public RouteOracle {
   bool emits_three_block() const override { return true; }
 };
 
+// The allocation-free engine: packed offset-sweep kernels whenever (d, k)
+// fits a lane, the configured scalar kernel otherwise — so registering
+// both fallbacks makes the conformance driver and dbn_fuzz cross-check
+// the packed path against every other implementation in the set.
 class RouteEngineOracle final : public RouteOracle {
  public:
-  explicit RouteEngineOracle(std::size_t k) : engine_(k) {}
-  std::string_view name() const override { return "route-engine"; }
+  RouteEngineOracle(std::size_t k, SideKernelFallback fallback)
+      : name_(fallback == SideKernelFallback::MpScan ? "route-engine"
+                                                     : "route-engine-st"),
+        engine_(k, fallback) {}
+  std::string_view name() const override { return name_; }
   int distance(const Word& x, const Word& y) override {
     return engine_.distance(x, y);
   }
@@ -93,6 +100,7 @@ class RouteEngineOracle final : public RouteOracle {
   bool emits_three_block() const override { return true; }
 
  private:
+  std::string_view name_;
   BidirectionalRouteEngine engine_;
 };
 
@@ -103,8 +111,9 @@ class BatchEngineOracle final : public RouteOracle {
  public:
   BatchEngineOracle(std::uint32_t d, std::size_t k, BatchBackend backend,
                     std::size_t threads)
-      : name_(backend == BatchBackend::Alg1Directed ? "batch-alg1"
-                                                    : "batch-engine"),
+      : name_(backend == BatchBackend::Alg1Directed     ? "batch-alg1"
+              : backend == BatchBackend::BidiSuffixTree ? "batch-bidi-st"
+                                                        : "batch-engine"),
         engine_(d, k,
                 BatchRouteOptions{.backend = backend,
                                   .threads = threads,
@@ -119,7 +128,8 @@ class BatchEngineOracle final : public RouteOracle {
     return engine_.route_one(x, y);
   }
   bool emits_three_block() const override {
-    return engine_.backend() == BatchBackend::BidiEngine;
+    return engine_.backend() == BatchBackend::BidiEngine ||
+           engine_.backend() == BatchBackend::BidiSuffixTree;
   }
 
  private:
@@ -278,10 +288,15 @@ OracleSet OracleSet::debruijn(std::uint32_t d, std::size_t k,
     set.oracles_.push_back(std::make_unique<Alg2MpOracle>());
     set.oracles_.push_back(std::make_unique<Alg4SuffixTreeOracle>());
     set.oracles_.push_back(std::make_unique<Alg4SuffixAutomatonOracle>());
-    set.oracles_.push_back(std::make_unique<RouteEngineOracle>(k));
+    set.oracles_.push_back(
+        std::make_unique<RouteEngineOracle>(k, SideKernelFallback::MpScan));
+    set.oracles_.push_back(
+        std::make_unique<RouteEngineOracle>(k, SideKernelFallback::SuffixTree));
     if (options.include_batch) {
       set.oracles_.push_back(std::make_unique<BatchEngineOracle>(
           d, k, BatchBackend::BidiEngine, options.batch_threads));
+      set.oracles_.push_back(std::make_unique<BatchEngineOracle>(
+          d, k, BatchBackend::BidiSuffixTree, options.batch_threads));
     }
   }
   if (options.include_greedy) {

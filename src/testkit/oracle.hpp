@@ -78,8 +78,9 @@ class OracleSet {
  public:
   /// The de Bruijn sets. Directed: Algorithm 1, greedy forwarding, BFS
   /// router, routing table. Undirected: Algorithms 2/3, two Algorithm 4
-  /// engines, the allocation-free route engine, greedy forwarding, BFS
-  /// router, routing table.
+  /// engines, the allocation-free route engine under both scalar
+  /// fallbacks (each taking the packed lane whenever (d, k) fits), greedy
+  /// forwarding, BFS router, routing table.
   static OracleSet debruijn(std::uint32_t d, std::size_t k,
                             Orientation orientation,
                             const OracleOptions& options = {});

@@ -96,7 +96,8 @@ TEST(BatchRouteEngine, MatchesSequentialEngineOnFullSmallGrid) {
     sequential.route_into(queries[i].x, queries[i].y, WildcardMode::Concrete,
                           expected);
     EXPECT_EQ(paths[i], expected)
-        << "X=" << queries[i].x.to_string() << " Y=" << queries[i].y.to_string();
+        << "X=" << queries[i].x.to_string()
+        << " Y=" << queries[i].y.to_string();
     EXPECT_EQ(paths[i].apply(queries[i].x), queries[i].y);
   }
 }
@@ -206,7 +207,10 @@ TEST(BatchRouteEngine, RouteOneMatchesBatchAndValidatesQueries) {
   const Word x(2, {0, 1, 1, 0});
   const Word y(2, {1, 0, 0, 1});
   const RoutingPath path = engine.route_one(x, y);
-  EXPECT_EQ(path, route_bidirectional_mp(x, y));
+  // The packed kernel may pick a different Theorem 2 witness than the
+  // scalar scan, so compare by optimality and validity, not hop-for-hop.
+  EXPECT_EQ(path.length(), route_bidirectional_mp(x, y).length());
+  EXPECT_EQ(path.apply(x), y);
   // Cached second call returns the identical path.
   EXPECT_EQ(engine.route_one(x, y), path);
   EXPECT_THROW(engine.route_one(Word(2, {0, 1, 1}), y), ContractViolation);
@@ -225,12 +229,19 @@ TEST(BatchRouteEngine, WildcardModeFlowsThroughToThePaths) {
       BatchRouteOptions{.threads = 2,
                         .wildcard_mode = WildcardMode::Wildcards});
   const std::vector<RoutingPath> paths = engine.route_batch(queries);
+  bool saw_wildcard = false;
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const RoutingPath expected = route_bidirectional_mp(
         queries[i].x, queries[i].y, WildcardMode::Wildcards);
-    EXPECT_EQ(paths[i], expected);
+    // Same optimal length; the witness (and so the wildcard placement)
+    // may differ between the packed and scalar kernels.
+    EXPECT_EQ(paths[i].length(), expected.length());
     EXPECT_EQ(paths[i].apply(queries[i].x), queries[i].y);
+    saw_wildcard = saw_wildcard || paths[i].has_wildcards();
   }
+  // The mode must actually reach the per-worker engines: across 100
+  // random pairs at least one optimal plan has an arbitrary digit.
+  EXPECT_TRUE(saw_wildcard);
 }
 
 }  // namespace

@@ -1,7 +1,7 @@
-// Heavy cross-kernel fuzzing: all five Theorem 2 engines (plus the naive
+// Heavy cross-kernel fuzzing: all six Theorem 2 engines (plus the naive
 // enumeration where affordable) against each other on structured,
 // adversarial and randomized word families. Any divergence means one of
-// the five independently derived algorithms is wrong.
+// the six independently derived algorithms is wrong.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -9,8 +9,10 @@
 #include "common/rng.hpp"
 #include "core/common_substring.hpp"
 #include "debruijn/sequence.hpp"
+#include "strings/failure.hpp"
 #include "strings/matching.hpp"
 #include "strings/naive.hpp"
+#include "strings/packed.hpp"
 #include "strings/suffix_automaton.hpp"
 #include "strings/suffix_array.hpp"
 #include "strings/zfunction.hpp"
@@ -31,6 +33,11 @@ void expect_all_kernels_agree(const std::vector<Symbol>& x,
   EXPECT_EQ(strings::min_l_cost_suffix_automaton(x, y).cost, expected)
       << family;
   EXPECT_EQ(strings::min_l_cost_suffix_array(x, y).cost, expected) << family;
+  strings::PackedBuf px, py;
+  if (strings::try_pack_pair(x, y, px, py)) {
+    // The SWAR offset sweep joins the panel whenever the pair fits a lane.
+    EXPECT_EQ(strings::min_l_cost_packed(px, py).cost, expected) << family;
+  }
   if (x.size() <= 16) {
     EXPECT_EQ(strings::naive::min_l_cost(x, y).cost, expected) << family;
   }
@@ -116,6 +123,91 @@ TEST(KernelFuzz, LowEntropyBiasedWords) {
       y[i] = rng.chance(0.9) ? 0 : 1;
     }
     expect_all_kernels_agree(x, y, "low entropy");
+  }
+}
+
+// --- packed (SWAR) kernel differential fuzzing ----------------------------
+//
+// The packed kernels are pure bit manipulation — exactly the kind of code
+// where an off-by-one in a shift or mask survives unit tests and dies on
+// one word shape. These sweeps hammer them against the scalar references
+// at volume (the side-minimum sweep above already covers min_l_cost).
+
+TEST(KernelFuzz, PackedOverlapAndSearchKernels) {
+  DBN_SEEDED_RNG(rng, 0x9afca11);
+  std::vector<std::size_t> hits;
+  for (int trial = 0; trial < 20000; ++trial) {
+    // Alphabet mix: mostly small (both lane widths), occasionally at or
+    // past the packable edge so the dispatchers' fallback is fuzzed too.
+    const std::uint32_t alphabet =
+        trial % 7 == 0 ? 16 + rng.below(4) : 1 + rng.below(16);
+    const std::uint32_t width = strings::packed_width(alphabet);
+    const std::size_t max_k = width == 0 ? 40 : 128 / width;
+    const std::size_t kx = 1 + rng.below(max_k);
+    const std::size_t ky = 1 + rng.below(max_k);
+    std::vector<Symbol> x = testing::random_symbols(rng, kx, alphabet);
+    std::vector<Symbol> y = testing::random_symbols(rng, ky, alphabet);
+    if (rng.chance(0.4)) {
+      // Plant a suffix-prefix overlap (the Property 1 hot case).
+      const std::size_t s = 1 + rng.below(std::min(kx, ky));
+      std::copy(x.end() - static_cast<long>(s), x.end(), y.begin());
+    }
+    // Public dispatchers (packed fast path when the pair fits a lane,
+    // Morris–Pratt otherwise) against the brute-force oracles.
+    EXPECT_EQ(strings::suffix_prefix_overlap(x, y),
+              strings::naive::suffix_prefix_overlap(x, y));
+    EXPECT_EQ(strings::kmp_find_all(x, y), strings::naive::find_all(x, y));
+    strings::PackedBuf px, py;
+    if (strings::try_pack_pair(x, y, px, py)) {
+      EXPECT_EQ(strings::suffix_prefix_overlap_packed(px, py),
+                strings::naive::suffix_prefix_overlap(x, y));
+      strings::find_all_packed(px, py, hits);
+      EXPECT_EQ(hits, strings::naive::find_all(x, y));
+      EXPECT_EQ(strings::unpack(strings::reverse_cells(px)),
+                strings::reversed(x));
+      EXPECT_EQ(strings::longest_common_substring_packed(px, py),
+                longest_common_substring_suffix_tree(x, y));
+    }
+  }
+}
+
+TEST(KernelFuzz, PackedBorderArrays) {
+  DBN_SEEDED_RNG(rng, 0xb0fca11);
+  std::vector<int> packed_border;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const std::uint32_t alphabet = 1 + rng.below(16);
+    const std::uint32_t width = strings::packed_width(alphabet);
+    const std::size_t k = 1 + rng.below(128 / width);
+    // Low-entropy draws keep the words border-rich.
+    std::vector<Symbol> s(k);
+    for (auto& c : s) {
+      c = rng.chance(0.7) ? 0 : static_cast<Symbol>(rng.below(alphabet));
+    }
+    const strings::PackedBuf packed = strings::pack_word(s, alphabet);
+    strings::border_array_packed(packed, packed_border);
+    EXPECT_EQ(packed_border, strings::border_array(s));
+  }
+}
+
+TEST(KernelFuzz, PackedSideMinimumAtLaneBoundaries) {
+  // Dense sweep exactly at the lane-capacity edges (k = 64 at width 2,
+  // k = 32 at width 4) where a mask off-by-one would hide.
+  DBN_SEEDED_RNG(rng, 0xede0);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const bool wide = rng.chance(0.5);
+    const std::uint32_t alphabet = wide ? 5 + rng.below(12) : 2 + rng.below(3);
+    const std::size_t k = wide ? 29 + rng.below(4) : 61 + rng.below(4);
+    const std::vector<Symbol> x = testing::random_symbols(rng, k, alphabet);
+    std::vector<Symbol> y = x;
+    const std::size_t rot = rng.below(k);
+    std::rotate(y.begin(), y.begin() + static_cast<long>(rot), y.end());
+    if (rng.chance(0.5)) {
+      y[rng.below(k)] = static_cast<Symbol>(rng.below(alphabet));
+    }
+    strings::PackedBuf px, py;
+    ASSERT_TRUE(strings::try_pack_pair(x, y, px, py));
+    EXPECT_EQ(strings::min_l_cost_packed(px, py).cost,
+              strings::min_l_cost(x, y).cost);
   }
 }
 

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "core/batch_route_engine.hpp"
 #include "core/route_engine.hpp"
 #include "core/routers.hpp"
 #include "obs/json.hpp"
@@ -417,6 +418,46 @@ TEST(Trace, NoSinkFastPathDoesNotAllocate) {
   EXPECT_EQ(after_route, 0u) << "warmed route_into allocated";
   EXPECT_EQ(after_span - after_route, 0u) << "no-sink span API allocated";
   EXPECT_EQ(after_counter - after_span, 0u) << "warmed counter allocated";
+}
+
+// The batch engine's steady state is allocation-free end to end: per-query
+// work runs in the per-worker engine arena (packed lanes for packable
+// (d, k)), parallel_for borrows the chunk body without boxing it, and a
+// warmed output vector is written in place. Both bi-directional backends
+// must hold the property — the suffix-tree backend only differs in the
+// scalar fallback, which packable words never reach.
+TEST(Trace, WarmedBatchEngineDoesNotAllocate) {
+  ASSERT_FALSE(obs::tracing_enabled());
+  for (const BatchBackend backend :
+       {BatchBackend::BidiEngine, BatchBackend::BidiSuffixTree}) {
+    BatchRouteEngine engine(
+        2, 8,
+        BatchRouteOptions{.backend = backend, .threads = 1, .chunk = 16});
+    Rng rng(42);
+    std::vector<RouteQuery> queries;
+    for (int i = 0; i < 64; ++i) {
+      queries.push_back(RouteQuery{Word::from_rank(2, 8, rng.below(256)),
+                                   Word::from_rank(2, 8, rng.below(256))});
+    }
+    std::vector<RoutingPath> out;
+    engine.route_batch_into(queries, out);  // warm paths + engine buffers
+    const std::vector<int> distances = engine.distance_batch(queries);
+    ASSERT_EQ(distances.size(), queries.size());
+    std::uint64_t after_routes = 0, after_distances = 0;
+    {
+      AllocationWindow window;
+      engine.route_batch_into(queries, out);
+      after_routes = window.count();
+      engine.distance_batch(queries);
+      after_distances = window.count();
+    }
+    EXPECT_EQ(after_routes, 0u)
+        << batch_backend_name(backend) << ": warmed route batch allocated";
+    // distance_batch returns a fresh vector by value — that one result
+    // buffer is the only permitted allocation.
+    EXPECT_LE(after_distances - after_routes, 1u)
+        << batch_backend_name(backend) << ": warmed distance batch allocated";
+  }
 }
 
 TEST(Trace, LaneScopeOverridesAndRestores) {

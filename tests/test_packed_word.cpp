@@ -1,0 +1,218 @@
+// PackedWord <-> Word equivalence battery (ISSUE 6 satellite): the packed
+// representation must agree with the vector-backed Word digit for digit —
+// construction, rank round trips, both shifts, reversal, ordering and
+// hashing — across every packable alphabet class (width-2 and width-4
+// lanes), the d = 1 degenerate corner, and the adversarial word families
+// the conformance fuzzer uses.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/contract.hpp"
+#include "debruijn/packed_word.hpp"
+#include "debruijn/word.hpp"
+#include "testing_util.hpp"
+#include "testkit/word_families.hpp"
+
+namespace dbn {
+namespace {
+
+// The alphabet classes of the lane layout: d <= 4 packs at 2 bits per
+// cell, d <= 16 at 4. k caps keep rank() inside uint64 where it is used.
+struct PackedParam {
+  std::uint32_t d;
+  std::size_t k;
+
+  friend std::ostream& operator<<(std::ostream& os, const PackedParam& p) {
+    return os << "d" << p.d << "_k" << p.k;
+  }
+};
+
+std::vector<PackedParam> packable_grid() {
+  return {
+      {1, 1}, {1, 2}, {1, 30}, {1, 64},           // degenerate alphabet
+      {2, 1}, {2, 5}, {2, 8}, {2, 30}, {2, 63},   // width 2
+      {3, 3}, {3, 20}, {3, 30},                   // width 2, non-power radix
+      {4, 4}, {4, 16}, {4, 30},                   // width 2 at capacity
+      {5, 7}, {8, 10}, {8, 21},                   // width 4
+      {11, 5}, {16, 4}, {16, 15},                 // width 4 at capacity
+  };
+}
+
+void expect_same_digits(const PackedWord& p, const Word& w) {
+  ASSERT_EQ(p.radix(), w.radix());
+  ASSERT_EQ(p.length(), w.length());
+  for (std::size_t i = 0; i < w.length(); ++i) {
+    ASSERT_EQ(p.digit(i), w.digit(i)) << "digit " << i;
+  }
+}
+
+TEST(PackedWord, PackabilityMatchesTheLaneLayout) {
+  // Width 2: d <= 4 up to k = 64; width 4: d <= 16 up to k = 32.
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    EXPECT_TRUE(PackedWord::packable(d, 64)) << d;
+    EXPECT_FALSE(PackedWord::packable(d, 65)) << d;
+  }
+  for (std::uint32_t d = 5; d <= 16; ++d) {
+    EXPECT_TRUE(PackedWord::packable(d, 32)) << d;
+    EXPECT_FALSE(PackedWord::packable(d, 33)) << d;
+  }
+  EXPECT_FALSE(PackedWord::packable(17, 1));
+  EXPECT_FALSE(PackedWord::packable(100, 4));
+  EXPECT_THROW(PackedWord(17, 4), ContractViolation);
+  EXPECT_THROW(PackedWord(2, 65), ContractViolation);
+  EXPECT_THROW(PackedWord(2, 0), ContractViolation);
+}
+
+TEST(PackedWord, RoundTripsEveryVertexOfSmallNetworks) {
+  // Exhaustive over every packable (d, k) with d^k small enough to
+  // enumerate: rank -> packed -> word -> rank must be the identity and
+  // agree with Word::from_rank digit for digit.
+  for (const auto& p : std::vector<PackedParam>{
+           {1, 5}, {2, 8}, {2, 10}, {3, 5}, {4, 4}, {5, 3}, {8, 3},
+           {11, 2}, {16, 2}}) {
+    const std::uint64_t n = Word::vertex_count(p.d, p.k);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      const Word w = Word::from_rank(p.d, p.k, r);
+      const PackedWord pw = PackedWord::from_rank(p.d, p.k, r);
+      expect_same_digits(pw, w);
+      EXPECT_EQ(pw.rank(), r);
+      EXPECT_EQ(pw.to_word(), w);
+      EXPECT_EQ(PackedWord::from_word(w), pw);
+    }
+  }
+}
+
+TEST(PackedWord, ShiftsMatchWordOnRandomVertices) {
+  DBN_SEEDED_RNG(rng, 0x9a11ed);
+  for (const PackedParam& p : packable_grid()) {
+    SCOPED_TRACE(::testing::Message() << p);
+    for (int trial = 0; trial < 40; ++trial) {
+      const Word w = testing::random_word(rng, p.d, p.k);
+      const PackedWord pw = PackedWord::from_word(w);
+      const Digit a = static_cast<Digit>(rng.below(p.d));
+      expect_same_digits(pw.left_shift(a), w.left_shift(a));
+      expect_same_digits(pw.right_shift(a), w.right_shift(a));
+      expect_same_digits(pw.reversed(), w.reversed());
+      PackedWord pl = pw;
+      pl.left_shift_inplace(a);
+      EXPECT_EQ(pl, pw.left_shift(a));
+      PackedWord pr = pw;
+      pr.right_shift_inplace(a);
+      EXPECT_EQ(pr, pw.right_shift(a));
+      EXPECT_THROW(pl.left_shift_inplace(static_cast<Digit>(p.d)),
+                   ContractViolation);
+      EXPECT_THROW(pr.right_shift_inplace(static_cast<Digit>(p.d)),
+                   ContractViolation);
+    }
+  }
+}
+
+TEST(PackedWord, ShiftWalksStayEquivalentOverLongSequences) {
+  // A long random walk of interleaved shifts: the packed and vector
+  // representations must track each other through every intermediate
+  // state (catches any end-cell leakage in the lane shifts).
+  DBN_SEEDED_RNG(rng, 0x5ea1);
+  for (const PackedParam& p :
+       std::vector<PackedParam>{{2, 63}, {3, 30}, {4, 32}, {16, 15}}) {
+    SCOPED_TRACE(::testing::Message() << p);
+    Word w = testing::random_word(rng, p.d, p.k);
+    PackedWord pw = PackedWord::from_word(w);
+    for (int step = 0; step < 300; ++step) {
+      const Digit a = static_cast<Digit>(rng.below(p.d));
+      if (rng.below(2) == 0) {
+        w.left_shift_inplace(a);
+        pw.left_shift_inplace(a);
+      } else {
+        w.right_shift_inplace(a);
+        pw.right_shift_inplace(a);
+      }
+      expect_same_digits(pw, w);
+    }
+  }
+}
+
+TEST(PackedWord, SetDigitMatchesAndValidates) {
+  DBN_SEEDED_RNG(rng, 0xd161);
+  for (const PackedParam& p : packable_grid()) {
+    Word w = testing::random_word(rng, p.d, p.k);
+    PackedWord pw = PackedWord::from_word(w);
+    const std::size_t i = rng.below(p.k);
+    const Digit v = static_cast<Digit>(rng.below(p.d));
+    pw.set_digit(i, v);
+    std::vector<Digit> digits;
+    for (std::size_t j = 0; j < w.length(); ++j) {
+      digits.push_back(j == i ? v : w.digit(j));
+    }
+    expect_same_digits(pw, Word(p.d, digits));
+    EXPECT_THROW(pw.set_digit(i, static_cast<Digit>(p.d)), ContractViolation);
+  }
+}
+
+TEST(PackedWord, OrderingAndHashMatchWord) {
+  DBN_SEEDED_RNG(rng, 0x07de7);
+  for (const PackedParam& p :
+       std::vector<PackedParam>{{2, 12}, {3, 9}, {4, 30}, {16, 7}}) {
+    SCOPED_TRACE(::testing::Message() << p);
+    std::vector<Word> words;
+    std::vector<PackedWord> packed;
+    for (int i = 0; i < 64; ++i) {
+      words.push_back(testing::random_word(rng, p.d, p.k));
+      packed.push_back(PackedWord::from_word(words.back()));
+      // Equal vertices hash equally across representations, so mixed
+      // tables behave.
+      EXPECT_EQ(std::hash<PackedWord>{}(packed.back()),
+                std::hash<Word>{}(words.back()));
+    }
+    std::sort(words.begin(), words.end());
+    std::sort(packed.begin(), packed.end());
+    for (std::size_t i = 0; i < words.size(); ++i) {
+      expect_same_digits(packed[i], words[i]);
+    }
+    EXPECT_EQ(packed[0] == packed[0], true);
+    EXPECT_EQ(packed[0] <=> packed[0], std::strong_ordering::equal);
+  }
+}
+
+TEST(PackedWord, DegenerateOneLetterAlphabet) {
+  // d = 1: a single vertex per k; every shift is the identity.
+  for (const std::size_t k : {1u, 2u, 7u, 30u, 64u}) {
+    const PackedWord p(1, k);
+    EXPECT_EQ(p.rank(), 0u);
+    EXPECT_EQ(p.left_shift(0), p);
+    EXPECT_EQ(p.right_shift(0), p);
+    EXPECT_EQ(p.reversed(), p);
+    expect_same_digits(p, Word::zero(1, k));
+    EXPECT_EQ(PackedWord::from_rank(1, k, 0), p);
+    EXPECT_THROW(PackedWord::from_rank(1, k, 1), ContractViolation);
+  }
+}
+
+TEST(PackedWord, AdversarialFamiliesRoundTripAndShift) {
+  // The fuzzer's boundary words (periodic, Lyndon, border-rich, ...) must
+  // survive pack -> shift -> unpack bit for bit, both lane widths.
+  DBN_SEEDED_RNG(rng, 0xfa317);
+  for (const PackedParam& p :
+       std::vector<PackedParam>{{2, 30}, {2, 64}, {3, 21}, {4, 17},
+                                {8, 30}, {16, 32}}) {
+    SCOPED_TRACE(::testing::Message() << p);
+    for (const testkit::WordFamily family : testkit::kAllWordFamilies) {
+      SCOPED_TRACE(testkit::family_name(family));
+      for (int trial = 0; trial < 10; ++trial) {
+        const Word w = testkit::sample_word(rng, p.d, p.k, family);
+        const PackedWord pw = PackedWord::from_word(w);
+        expect_same_digits(pw, w);
+        EXPECT_EQ(pw.to_word(), w);
+        const Digit a = static_cast<Digit>(rng.below(p.d));
+        expect_same_digits(pw.left_shift(a), w.left_shift(a));
+        expect_same_digits(pw.right_shift(a), w.right_shift(a));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbn
