@@ -1,0 +1,177 @@
+// Steady-state serving benchmark behind the CI serve gate.
+//
+// BM_ServeSteadyState drives an in-process RouteServer the way a warmed
+// closed-loop client does: a 256-deep window of pipelined route requests
+// through Connection::feed, each answered by the dispatcher's
+// micro-batched BatchRouteEngine. One iteration = one request admitted,
+// so items_per_second is the sustained QPS and the p50_us/p99_us counters
+// are end-to-end (encode -> admit -> batch -> respond) latencies measured
+// inside the run.
+//
+// BM_ServeEngineOnly runs the identical query stream straight into the
+// same engine configuration with no protocol, queue, or dispatcher —
+// the denominator for the derived serve-overhead ratio that
+// scripts/bench_report.py computes from the two rows' items_per_second
+// and gates at record time (--max-serve-overhead).
+//
+// Both pin the engine to one worker thread so the ratio compares the
+// serving machinery, not the runner's core count.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/batch_route_engine.hpp"
+#include "debruijn/word.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace dbn;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kD = 2;
+constexpr std::size_t kK = 16;
+constexpr std::size_t kWindow = 256;
+constexpr std::size_t kPairs = 1024;
+
+Word random_word(Rng& rng, std::uint32_t d, std::size_t k) {
+  std::vector<Digit> digits(k);
+  for (auto& x : digits) {
+    x = static_cast<Digit>(rng.below(d));
+  }
+  return Word(d, std::move(digits));
+}
+
+std::vector<RouteQuery> query_stream() {
+  Rng rng(2026);
+  std::vector<RouteQuery> pairs;
+  pairs.reserve(kPairs);
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    pairs.push_back(
+        {random_word(rng, kD, kK), random_word(rng, kD, kK)});
+  }
+  return pairs;
+}
+
+std::uint64_t percentile_us(std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0;
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(rank + 0.5)];
+}
+
+void BM_ServeSteadyState(benchmark::State& state) {
+  serve::ServeConfig config;
+  config.d = kD;
+  config.k = kK;
+  config.threads = 1;
+  config.queue_capacity = 1u << 15;  // never shed: every answer is Ok
+  config.max_batch = kWindow;
+  serve::RouteServer server(config);
+
+  const std::vector<RouteQuery> pairs = query_stream();
+
+  struct Harness {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::uint64_t responded = 0;
+    std::vector<Clock::time_point> arrivals;
+  } harness;
+  harness.arrivals.reserve(1u << 20);
+
+  const std::shared_ptr<serve::Connection> conn =
+      server.connect([&harness](std::string_view frames) {
+        // Count complete response frames (the server only ever sends whole
+        // frames) and timestamp their arrival; decoding happens after the
+        // run so the sink stays off the dispatcher's critical path.
+        const Clock::time_point now = Clock::now();
+        std::size_t n = 0;
+        std::size_t at = 0;
+        while (at + 4 <= frames.size()) {
+          std::uint32_t len = 0;
+          std::memcpy(&len, frames.data() + at, 4);
+          at += 4 + len;
+          ++n;
+        }
+        const std::lock_guard<std::mutex> lock(harness.mutex);
+        for (std::size_t i = 0; i < n; ++i) {
+          harness.arrivals.push_back(now);
+        }
+        harness.responded += n;
+        harness.cv.notify_all();
+      });
+
+  std::vector<Clock::time_point> sends;
+  sends.reserve(1u << 20);
+  std::string frame;
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    {
+      std::unique_lock<std::mutex> lock(harness.mutex);
+      harness.cv.wait(
+          lock, [&] { return sent - harness.responded < kWindow; });
+    }
+    const RouteQuery& q = pairs[sent % kPairs];
+    frame.clear();
+    serve::encode_route_request(sent, q.x, q.y, frame);
+    sends.push_back(Clock::now());
+    conn->feed(frame);
+    ++sent;
+  }
+  {
+    // Tail drain (outside the timed loop): every request answered.
+    std::unique_lock<std::mutex> lock(harness.mutex);
+    harness.cv.wait(lock, [&] { return harness.responded == sent; });
+  }
+  server.wait_drained();
+
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(sends.size());
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    latencies.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            harness.arrivals[i] - sends[i])
+            .count()));
+  }
+  std::sort(latencies.begin(), latencies.end());
+  state.SetItemsProcessed(static_cast<std::int64_t>(sent));
+  state.counters["p50_us"] =
+      static_cast<double>(percentile_us(latencies, 50));
+  state.counters["p99_us"] =
+      static_cast<double>(percentile_us(latencies, 99));
+  state.counters["window"] = static_cast<double>(kWindow);
+}
+BENCHMARK(BM_ServeSteadyState)->UseRealTime();
+
+void BM_ServeEngineOnly(benchmark::State& state) {
+  BatchRouteOptions options;
+  options.threads = 1;
+  options.chunk = 64;
+  BatchRouteEngine engine(kD, kK, options);
+  const std::vector<RouteQuery> pairs = query_stream();
+  std::vector<RouteQuery> batch(pairs.begin(), pairs.begin() + kWindow);
+  std::vector<RoutingPath> out;
+  for (auto _ : state) {
+    engine.route_batch_into(batch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(state.iterations()) * kWindow));
+}
+BENCHMARK(BM_ServeEngineOnly)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -19,6 +19,10 @@ Two subcommands:
            bidi-engine rows, a derived bidi-vs-alg1 ratio is appended and
            --max-bidi-vs-alg1 R gates it the same way (the packed-kernel
            budget: undirected optimality at <= R x the directed scan).
+           When the bench_serve pair (BM_ServeSteadyState sustained QPS +
+           p50/p99 latency counters, BM_ServeEngineOnly denominator) is
+           recorded, a derived serve-overhead ratio is appended and
+           --max-serve-overhead R gates it at record time too.
 
   compare  Check a fresh report against a committed baseline and fail
            (exit 1) when any comparable single-thread entry regressed by
@@ -143,6 +147,47 @@ def derive_bidi_vs_alg1(rows):
     return ratio
 
 
+def derive_serve_overhead(rows):
+    """Appends the derived serve-overhead row; returns the ratio.
+
+    Compares the two bench_serve rows by sustained items/second:
+      BM_ServeEngineOnly     the batch engine alone (1 worker, window 256)
+      BM_ServeSteadyState    the same engine behind the full serving stack
+                             (wire protocol, bounded queue, dispatcher)
+    The ratio is the per-request price of the daemon machinery. Returns
+    None when either row is absent.
+    """
+    def find(suffix):
+        for row in rows:
+            if row["name"].endswith(suffix):
+                return row.get("items_per_second") or None
+        return None
+
+    engine = find("/BM_ServeEngineOnly/real_time")
+    serve = find("/BM_ServeSteadyState/real_time")
+    if engine is None or serve is None:
+        return None
+    ratio = engine / serve
+    rows.append({
+        "name": "derived/serve_overhead",
+        "backend": "derived",
+        "threads": 1,
+        "best_ns_per_query": ratio,  # a ratio, not a timing
+        "note": "BM_ServeEngineOnly / BM_ServeSteadyState items/s (same run)",
+    })
+    return ratio
+
+
+# Numeric fields of a Google-Benchmark JSON row that are part of the
+# format itself; everything else numeric is a user counter (e.g. the
+# p99_us latency BM_ServeSteadyState reports) and rides along in the row.
+GBENCH_STANDARD_FIELDS = frozenset([
+    "family_index", "per_family_instance_index", "repetition_index",
+    "repetitions", "threads", "iterations", "real_time", "cpu_time",
+    "items_per_second", "bytes_per_second",
+])
+
+
 def run_gbench(build_dir, name, benchmark_filter, min_time, repetitions):
     """Run one Google-Benchmark binary, normalized to result rows.
 
@@ -175,13 +220,22 @@ def run_gbench(build_dir, name, benchmark_filter, min_time, repetitions):
         row_name = f"gbench/{name}/{bench['name']}"
         if row_name in best and best[row_name]["best_ns_per_query"] <= ns:
             continue
-        best[row_name] = {
+        row = {
             "name": row_name,
             "backend": "gbench",
             "threads": 1,
             "best_ns_per_query": ns,
             "items_per_second": bench.get("items_per_second", 0.0),
         }
+        counters = {
+            key: value
+            for key, value in bench.items()
+            if isinstance(value, (int, float))
+            and key not in GBENCH_STANDARD_FIELDS
+        }
+        if counters:
+            row["counters"] = counters
+        best[row_name] = row
     return list(best.values())
 
 
@@ -194,6 +248,7 @@ def cmd_record(args):
                        args.gbench_min_time, args.gbench_repetitions))
     disabled_overhead = derive_tracing_overhead(report["results"])
     bidi_vs_alg1 = derive_bidi_vs_alg1(report["results"])
+    serve_overhead = derive_serve_overhead(report["results"])
     report["schema"] = SCHEMA
     report["generated_by"] = "scripts/bench_report.py"
     if metrics:
@@ -232,6 +287,19 @@ def cmd_record(args):
         print("bench_report: FAIL --max-bidi-vs-alg1 set but the "
               "batch/alg1-directed/t1 + batch/bidi-engine/t1 pair was not "
               "recorded (run the --smoke sweep)")
+        return 1
+    if serve_overhead is not None:
+        print(f"bench_report: serve overhead {serve_overhead:.3f}x")
+        if args.max_serve_overhead > 0 and \
+                serve_overhead > args.max_serve_overhead:
+            print(f"bench_report: FAIL serving stack costs "
+                  f"{serve_overhead:.3f}x the bare engine > allowed "
+                  f"{args.max_serve_overhead:.2f}x")
+            return 1
+    elif args.max_serve_overhead > 0:
+        print("bench_report: FAIL --max-serve-overhead set but the "
+              "BM_ServeSteadyState/BM_ServeEngineOnly pair was not "
+              "recorded (add --gbench bench_serve)")
         return 1
     return 0
 
@@ -312,6 +380,10 @@ def main():
                      help="fail when the single-thread bidi-engine batch "
                           "row costs more than this ratio of the "
                           "alg1-directed row (0 = no gate; CI uses 2.0)")
+    rec.add_argument("--max-serve-overhead", type=float, default=0.0,
+                     help="fail when the serving stack sustains fewer than "
+                          "1/R of the bare engine's items/s at the same "
+                          "configuration (0 = no gate; CI uses 8.0)")
     rec.set_defaults(func=cmd_record)
 
     cmp_ = sub.add_parser("compare", help="gate a report against a baseline")

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate metrics/1 JSON snapshots (the --metrics-out format).
+
+Checks, per file:
+  - the document is {"schema": "metrics/1", "metrics": [...]} and nothing
+    else;
+  - entries are sorted by name with no duplicates;
+  - every entry is one of the three kinds with exactly the fields that
+    kind carries:
+      counter    {name, kind, count}        count is a non-negative int
+      gauge      {name, kind, value}        value is a finite number
+      histogram  {name, kind, count, sum, bounds, buckets}
+    and for histograms: bounds is strictly increasing, buckets has
+    len(bounds) + 1 entries (the last is the overflow bucket), every
+    bucket is a non-negative int, and the buckets sum to count.
+
+Exit status 0 when every file validates, 1 otherwise.
+
+--require NAME fails unless an entry named NAME appears (repeatable).
+--require-nonzero NAME additionally requires its count/value to be > 0;
+CI's serve-smoke job uses this to assert the daemon actually served the
+loadgen workload before it drained.
+
+Usage:
+  scripts/check_metrics.py dbn.metrics.json \
+      --require-nonzero serve.requests --require serve.latency_us
+"""
+
+import argparse
+import json
+import math
+import sys
+
+KIND_FIELDS = {
+    "counter": {"name", "kind", "count"},
+    "gauge": {"name", "kind", "value"},
+    "histogram": {"name", "kind", "count", "sum", "bounds", "buckets"},
+}
+
+
+def is_count(x):
+    return isinstance(x, int) and not isinstance(x, bool) and x >= 0
+
+
+def is_finite_number(x):
+    return (isinstance(x, (int, float)) and not isinstance(x, bool)
+            and math.isfinite(x))
+
+
+def check_entry(path, i, entry, errors):
+    where = f"{path}: metrics[{i}]"
+    if not isinstance(entry, dict):
+        errors.append(f"{where}: not an object")
+        return None
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{where}: missing or empty name")
+        return None
+    where = f"{path}: {name}"
+    kind = entry.get("kind")
+    if kind not in KIND_FIELDS:
+        errors.append(f"{where}: unknown kind {kind!r}")
+        return name
+    expected = KIND_FIELDS[kind]
+    if set(entry) != expected:
+        errors.append(f"{where}: {kind} carries fields "
+                      f"{sorted(entry)}, expected {sorted(expected)}")
+        return name
+    if kind == "counter":
+        if not is_count(entry["count"]):
+            errors.append(f"{where}: count {entry['count']!r} is not a "
+                          "non-negative integer")
+    elif kind == "gauge":
+        if not is_finite_number(entry["value"]):
+            errors.append(f"{where}: value {entry['value']!r} is not a "
+                          "finite number")
+    else:
+        if not is_count(entry["count"]):
+            errors.append(f"{where}: count {entry['count']!r} is not a "
+                          "non-negative integer")
+        if not is_finite_number(entry["sum"]):
+            errors.append(f"{where}: sum {entry['sum']!r} is not a "
+                          "finite number")
+        bounds = entry["bounds"]
+        buckets = entry["buckets"]
+        if (not isinstance(bounds, list)
+                or not all(is_finite_number(b) for b in bounds)):
+            errors.append(f"{where}: bounds is not a list of numbers")
+            return name
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            errors.append(f"{where}: bounds are not strictly increasing")
+        if (not isinstance(buckets, list)
+                or not all(is_count(b) for b in buckets)):
+            errors.append(f"{where}: buckets is not a list of "
+                          "non-negative integers")
+            return name
+        if len(buckets) != len(bounds) + 1:
+            errors.append(f"{where}: {len(buckets)} buckets for "
+                          f"{len(bounds)} bounds (want bounds + 1, the "
+                          "last bucket is overflow)")
+        elif sum(buckets) != entry["count"]:
+            errors.append(f"{where}: buckets sum to {sum(buckets)}, "
+                          f"count says {entry['count']}")
+    return name
+
+
+def magnitude(entry):
+    if entry.get("kind") == "gauge":
+        return entry.get("value", 0)
+    return entry.get("count", 0)
+
+
+def check_file(path, require, require_nonzero):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: {e}"], 0
+    if not isinstance(doc, dict) or set(doc) != {"schema", "metrics"}:
+        return [f"{path}: document is not "
+                '{"schema": ..., "metrics": [...]}'], 0
+    if doc["schema"] != "metrics/1":
+        return [f"{path}: schema {doc['schema']!r}, expected 'metrics/1'"], 0
+    if not isinstance(doc["metrics"], list):
+        return [f"{path}: metrics is not a list"], 0
+
+    by_name = {}
+    names_in_order = []
+    for i, entry in enumerate(doc["metrics"]):
+        name = check_entry(path, i, entry, errors)
+        if name is None:
+            continue
+        if name in by_name:
+            errors.append(f"{path}: duplicate entry {name!r}")
+        by_name[name] = entry
+        names_in_order.append(name)
+    if names_in_order != sorted(names_in_order):
+        errors.append(f"{path}: entries are not sorted by name")
+
+    for name in require + require_nonzero:
+        if name not in by_name:
+            errors.append(f"{path}: required metric {name!r} missing")
+    for name in require_nonzero:
+        entry = by_name.get(name)
+        if entry is not None and not magnitude(entry) > 0:
+            errors.append(f"{path}: {name} is zero "
+                          f"({json.dumps(entry)})")
+    return errors, len(by_name)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a metric named NAME appears "
+                             "(repeatable)")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="like --require, and its count/value must "
+                             "be > 0 (repeatable)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.files:
+        errors, total = check_file(path, args.require, args.require_nonzero)
+        if errors:
+            failed = True
+            for e in errors[:50]:
+                print(e, file=sys.stderr)
+            if len(errors) > 50:
+                print(f"{path}: ... and {len(errors) - 50} more errors",
+                      file=sys.stderr)
+        elif not args.quiet:
+            print(f"check_metrics: {path} ok ({total} metrics)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,31 @@ done
 run_step bench-report - python3 scripts/bench_report.py record \
   --build-dir build --smoke --out bench_report.json
 
+# Serving smoke: spawn-mode loadgen over stdio (no ports involved), then
+# a TCP boot/drain cycle mirroring CI's serve-smoke job.
+run_step serve-loadgen - ./build/tools/dbn_loadgen 2 10 \
+  "--spawn=./build/tools/dbn serve 2 10 --stdio --threads=2 --cache=1024" \
+  --requests=2000 --inflight=32 --distance-frac=0.25 --stats
+
+serve_smoke() {
+  rm -f serve.port serve_metrics.json
+  ./build/tools/dbn serve 2 12 --port=0 --port-file=serve.port \
+    --threads=2 --metrics-out=serve_metrics.json 2>/dev/null &
+  local serve_pid=$!
+  local status=0
+  ./build/tools/dbn_loadgen 2 12 --port-file=serve.port \
+    --connections=4 --requests=4000 --inflight=64 --stats \
+    --out=loadgen_output.ndjson || status=$?
+  kill -TERM "${serve_pid}" 2>/dev/null || status=1
+  wait "${serve_pid}" || status=$?
+  python3 scripts/check_metrics.py serve_metrics.json \
+    --require-nonzero serve.requests \
+    --require-nonzero serve.responses_ok || status=$?
+  rm -f serve.port
+  return "${status}"
+}
+run_step serve-smoke - serve_smoke
+
 if ((${#failed_steps[@]} > 0)); then
   echo "run_all: ${#failed_steps[@]} step(s) failed:" >&2
   printf '  %s\n' "${failed_steps[@]}" >&2

@@ -24,4 +24,12 @@ inline constexpr std::string_view kChaos = "chaos/1";
 /// dbn_bench JSON perf report (tools/dbn_bench, scripts/bench_report.py).
 inline constexpr std::string_view kBench = "dbn-bench/1";
 
+/// Serving wire protocol: the length-prefixed binary frames `dbn serve`
+/// speaks (serve/protocol.hpp, tools/dbn_loadgen, docs/serving.md).
+inline constexpr std::string_view kServe = "serve/1";
+
+/// dbn_loadgen NDJSON result summary (tools/dbn_loadgen,
+/// scripts/check_metrics.py reads the server-side metrics instead).
+inline constexpr std::string_view kLoadgen = "loadgen/1";
+
 }  // namespace dbn::schema

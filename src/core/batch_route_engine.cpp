@@ -62,6 +62,7 @@ BatchRouteEngine::BatchRouteEngine(std::uint32_t d, std::size_t k,
   metrics_queries_ = registry.counter("batch.queries");
   metrics_cache_lookups_ = registry.counter("batch.cache_lookups");
   metrics_cache_hits_ = registry.counter("batch.cache_hits");
+  metrics_cache_evictions_ = registry.counter("batch.cache_evictions");
   metrics_batches_ = registry.counter("batch.runs");
 }
 
@@ -111,6 +112,10 @@ void BatchRouteEngine::cache_store(std::uint64_t hash, const Word& x,
   const std::size_t slot = (hash / shards_.size()) % shard.entries.size();
   std::lock_guard<std::mutex> lock(shard.mutex);
   CacheEntry& entry = shard.entries[slot];
+  if (entry.filled &&
+      !(entry.hash == hash && entry.x == x && entry.y == y)) {
+    cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
   entry.filled = true;
   entry.hash = hash;
   entry.x = x;
@@ -171,6 +176,7 @@ void BatchRouteEngine::route_batch_into(const std::vector<RouteQuery>& queries,
   out.resize(queries.size());
   cache_lookups_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
+  cache_evictions_.store(0, std::memory_order_relaxed);
   // When a sink is registered each chunk runs on its worker's lane and is
   // bracketed by a wall-clock span, making the pool's parallelism visible
   // as per-worker tracks in the Chrome export. When off: one branch.
@@ -223,11 +229,13 @@ void BatchRouteEngine::route_batch_into(const std::vector<RouteQuery>& queries,
   stats_ = BatchStats{queries.size(),
                       cache_lookups_.load(std::memory_order_relaxed),
                       cache_hits_.load(std::memory_order_relaxed),
+                      cache_evictions_.load(std::memory_order_relaxed),
                       pool_->thread_count()};
   metrics_batches_.inc();
   metrics_queries_.inc(stats_.queries);
   metrics_cache_lookups_.inc(stats_.cache_lookups);
   metrics_cache_hits_.inc(stats_.cache_hits);
+  metrics_cache_evictions_.inc(stats_.cache_evictions);
 }
 
 std::vector<RoutingPath> BatchRouteEngine::route_batch(
@@ -250,7 +258,7 @@ std::vector<int> BatchRouteEngine::distance_batch(
           out[i] = compute_distance(queries[i], scratch);
         }
       });
-  stats_ = BatchStats{queries.size(), 0, 0, pool_->thread_count()};
+  stats_ = BatchStats{queries.size(), 0, 0, 0, pool_->thread_count()};
   metrics_batches_.inc();
   metrics_queries_.inc(stats_.queries);
   return out;

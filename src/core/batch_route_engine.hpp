@@ -85,6 +85,9 @@ struct BatchStats {
   std::size_t queries = 0;
   std::size_t cache_lookups = 0;
   std::size_t cache_hits = 0;
+  /// Stores that overwrote a live entry for a *different* pair (direct-
+  /// mapped collisions). Refreshing the same pair does not count.
+  std::size_t cache_evictions = 0;
   std::size_t threads = 0;
 };
 
@@ -167,12 +170,14 @@ class BatchRouteEngine {
   std::vector<std::unique_ptr<CacheShard>> shards_;
   std::atomic<std::size_t> cache_lookups_{0};
   std::atomic<std::size_t> cache_hits_{0};
+  std::atomic<std::size_t> cache_evictions_{0};
   BatchStats stats_;
   // Mirrors of the batch counters in the global registry (folded in once
   // per batch, not per query, to keep the hot loop untouched).
   obs::Counter metrics_queries_;
   obs::Counter metrics_cache_lookups_;
   obs::Counter metrics_cache_hits_;
+  obs::Counter metrics_cache_evictions_;
   obs::Counter metrics_batches_;
 };
 

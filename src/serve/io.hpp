@@ -1,0 +1,43 @@
+// Transports for RouteServer: a stdin/stdout pipe loop (used by
+// tools/dbn_loadgen --spawn and by the in-memory tests, which drive it
+// with string streams) and a localhost TCP listener (the CI serve-smoke
+// job's mode, drained by SIGTERM via the `stop` flag).
+//
+// Both transports implement the same lifecycle: feed bytes to the server
+// until the input ends (EOF / stop flag), then begin_drain(), wait for
+// every admitted request to be answered, flush, and return. Exit status
+// is 0 only when every connection ended frame-aligned (no truncated or
+// poisoned streams).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace dbn::serve {
+
+/// Serves one connection over `in`/`out` until EOF, then drains. Returns
+/// 0 on a clean, frame-aligned shutdown; 1 when the peer truncated or
+/// poisoned the stream.
+int serve_stdio(RouteServer& server, std::istream& in, std::ostream& out);
+
+struct TcpOptions {
+  /// Port to bind on 127.0.0.1 (0 = ephemeral).
+  std::uint16_t port = 0;
+  /// When non-empty, the bound port is written here ("<port>\n") via a
+  /// rename so a watcher never reads a half-written file.
+  std::string port_file;
+};
+
+/// Listens and serves until `stop` becomes true (the CLI's SIGTERM/SIGINT
+/// watcher sets it), then drains every connection and returns 0 on clean
+/// shutdown. `bound_port`, when non-null, receives the actual port before
+/// the first accept.
+int serve_tcp(RouteServer& server, const TcpOptions& options,
+              const std::atomic<bool>& stop,
+              std::uint16_t* bound_port = nullptr);
+
+}  // namespace dbn::serve

@@ -1,0 +1,347 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/contract.hpp"
+#include "obs/trace.hpp"
+
+namespace dbn::serve {
+
+namespace {
+
+// Upper-inclusive microsecond buckets for the serving latency histogram:
+// p50/p99 are read off these offline (scripts/check_metrics.py, the CI
+// serve-smoke job) and by the Stats request.
+std::vector<double> latency_bounds_us() {
+  return {10,    20,    50,     100,    200,    500,    1000,   2000,
+          5000,  10000, 20000,  50000,  100000, 200000, 500000, 1000000};
+}
+
+std::vector<double> batch_size_bounds() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+}  // namespace
+
+bool Connection::feed(std::string_view bytes) {
+  if (failed_) {
+    return false;
+  }
+  reader_.feed(bytes);
+  std::string payload;
+  for (;;) {
+    switch (reader_.next(payload)) {
+      case FrameReader::Result::NeedMore:
+        return true;
+      case FrameReader::Result::Error:
+        failed_ = true;
+        server_->note_protocol_error();
+        return false;
+      case FrameReader::Result::Frame:
+        break;
+    }
+    const DecodedRequest decoded = decode_request(payload);
+    const std::shared_ptr<Connection> self = shared_from_this();
+    if (decoded.error != DecodeError::None) {
+      // Frame-aligned but undecodable: the stream itself is still sound,
+      // so answer BadRequest and keep the connection. The id is only
+      // trustworthy when the header parsed.
+      const std::uint64_t id =
+          decoded.error == DecodeError::TruncatedHeader ? 0
+                                                        : decoded.request.id;
+      server_->respond_error(self, RequestType::Ping, id, Status::BadRequest,
+                             decode_error_name(decoded.error));
+      continue;
+    }
+    server_->admit(self, decoded.request);
+  }
+}
+
+void Connection::close() {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  sink_ = nullptr;
+}
+
+bool Connection::clean() const {
+  return !failed_ && reader_.pending_bytes() == 0;
+}
+
+void Connection::send(std::string_view frames) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  if (sink_) {
+    sink_(frames);
+  }
+}
+
+RouteServer::RouteServer(const ServeConfig& config)
+    : config_(config),
+      engine_(config.d, config.k,
+              BatchRouteOptions{.backend = config.backend,
+                                .threads = config.threads,
+                                .chunk = 64,
+                                .cache_entries = config.cache_entries,
+                                .wildcard_mode = config.wildcard_mode}) {
+  DBN_REQUIRE(config_.d >= 1 && config_.d <= kMaxWireRadix,
+              "serve wire digits are one byte; d must be in [1, 255]");
+  DBN_REQUIRE(config_.k >= 1 && config_.k <= 0xFFFF,
+              "serve wire k is 16-bit");
+  DBN_REQUIRE(config_.queue_capacity >= 1, "queue capacity must be >= 1");
+  DBN_REQUIRE(config_.max_batch >= 1, "max batch must be >= 1");
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  metrics_requests_ = registry.counter("serve.requests");
+  metrics_ok_ = registry.counter("serve.responses_ok");
+  metrics_overload_ = registry.counter("serve.rejected_overload");
+  metrics_bad_request_ = registry.counter("serve.rejected_bad_request");
+  metrics_draining_ = registry.counter("serve.rejected_draining");
+  metrics_protocol_errors_ = registry.counter("serve.protocol_errors");
+  metrics_batches_ = registry.counter("serve.batches");
+  metrics_connections_ = registry.counter("serve.connections");
+  metrics_batch_size_ =
+      registry.histogram("serve.batch_size", batch_size_bounds());
+  metrics_latency_us_ =
+      registry.histogram("serve.latency_us", latency_bounds_us());
+  metrics_queue_depth_ = registry.gauge("serve.queue_depth");
+  dispatcher_ = std::thread([this] { dispatcher_main(); });
+}
+
+RouteServer::~RouteServer() { wait_drained(); }
+
+std::shared_ptr<Connection> RouteServer::connect(
+    Connection::ResponseSink sink) {
+  // make_shared needs a public constructor; Connection's is private so
+  // every connection goes through this registration point.
+  std::shared_ptr<Connection> conn(
+      new Connection(this, std::move(sink)));  // dbn-lint: allow(raw-new) private ctor, immediately owned
+  metrics_connections_.inc();
+  return conn;
+}
+
+void RouteServer::begin_drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    draining_.store(true, std::memory_order_release);
+  }
+  queue_cv_.notify_all();
+}
+
+void RouteServer::wait_drained() {
+  begin_drain();
+  std::call_once(join_once_, [this] { dispatcher_.join(); });
+}
+
+ServeStats RouteServer::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
+  s.rejected_overload = rejected_overload_.load(std::memory_order_relaxed);
+  s.rejected_bad_request =
+      rejected_bad_request_.load(std::memory_order_relaxed);
+  s.rejected_draining = rejected_draining_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t RouteServer::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void RouteServer::note_protocol_error() {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  metrics_protocol_errors_.inc();
+}
+
+void RouteServer::respond_error(const std::shared_ptr<Connection>& conn,
+                                RequestType type, std::uint64_t id,
+                                Status status, std::string_view message) {
+  switch (status) {
+    case Status::Overloaded:
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      metrics_overload_.inc();
+      break;
+    case Status::Draining:
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      metrics_draining_.inc();
+      break;
+    default:
+      rejected_bad_request_.fetch_add(1, std::memory_order_relaxed);
+      metrics_bad_request_.inc();
+      break;
+  }
+  if (obs::tracing_enabled()) {
+    obs::instant("serve_reject", "serve", obs::TraceClock::Wall,
+                 obs::wall_ts_micros(),
+                 {obs::targ("status", status_name(status)),
+                  obs::targ("id", id)});
+  }
+  std::string frame;
+  encode_error_response(type, status, id, message, frame);
+  conn->send(frame);
+}
+
+void RouteServer::admit(const std::shared_ptr<Connection>& conn,
+                        Request request) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_requests_.inc();
+  switch (request.type) {
+    case RequestType::Ping: {
+      std::string frame;
+      encode_ok_response(RequestType::Ping, request.id, "", frame);
+      conn->send(frame);
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      metrics_ok_.inc();
+      return;
+    }
+    case RequestType::Stats: {
+      std::string frame;
+      encode_ok_response(RequestType::Stats, request.id,
+                         obs::MetricsRegistry::global().snapshot().to_json(),
+                         frame);
+      conn->send(frame);
+      responses_ok_.fetch_add(1, std::memory_order_relaxed);
+      metrics_ok_.inc();
+      return;
+    }
+    case RequestType::Route:
+    case RequestType::Distance:
+      break;
+  }
+  // Admission for routed work happens under the queue mutex so the
+  // draining check and the push are atomic with respect to the
+  // dispatcher's exit condition — an admitted request is always answered.
+  enum class Verdict { Accepted, Overloaded, Draining };
+  Verdict verdict = Verdict::Accepted;
+  const RequestType type = request.type;
+  const std::uint64_t id = request.id;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_.load(std::memory_order_relaxed)) {
+      verdict = Verdict::Draining;
+    } else if (queue_.size() >= config_.queue_capacity) {
+      verdict = Verdict::Overloaded;
+    } else {
+      queue_.push_back(Pending{conn, std::move(request),
+                               std::chrono::steady_clock::now()});
+      metrics_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    }
+  }
+  switch (verdict) {
+    case Verdict::Accepted:
+      queue_cv_.notify_one();
+      return;
+    case Verdict::Overloaded:
+      respond_error(conn, type, id, Status::Overloaded,
+                    "request queue full");
+      return;
+    case Verdict::Draining:
+      respond_error(conn, type, id, Status::Draining, "server is draining");
+      return;
+  }
+}
+
+void RouteServer::dispatcher_main() {
+  std::vector<Pending> batch;
+  BatchScratch scratch;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() ||
+               draining_.load(std::memory_order_relaxed);
+      });
+      if (queue_.empty()) {
+        return;  // draining and nothing left: exit
+      }
+      while (!queue_.empty() && batch.size() < config_.max_batch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics_queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    }
+    process_batch(batch, scratch);
+  }
+}
+
+void RouteServer::process_batch(std::vector<Pending>& batch,
+                                BatchScratch& scratch) {
+  const bool traced = obs::tracing_enabled();
+  obs::Span span;
+  if (traced) {
+    span = obs::Span::begin("serve_batch", "serve", obs::TraceClock::Wall,
+                            obs::wall_ts_micros());
+    span.arg(obs::targ("size", static_cast<std::uint64_t>(batch.size())));
+  }
+  // Wire-validate and partition into the engine's two batch shapes. A slot
+  // of -1 marks a request answered as BadRequest below.
+  scratch.route_queries.clear();
+  scratch.route_slots.clear();
+  scratch.distance_queries.clear();
+  scratch.distance_slots.clear();
+  scratch.slot_of.assign(batch.size(), -1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& request = batch[i].request;
+    if (request.x.size() != config_.k || request.y.size() != config_.k) {
+      continue;
+    }
+    const std::optional<Word> x = word_from_wire(config_.d, request.x);
+    const std::optional<Word> y = word_from_wire(config_.d, request.y);
+    if (!x || !y) {
+      continue;
+    }
+    if (request.type == RequestType::Route) {
+      scratch.slot_of[i] = static_cast<int>(scratch.route_queries.size());
+      scratch.route_queries.push_back(RouteQuery{*x, *y});
+      scratch.route_slots.push_back(i);
+    } else {
+      scratch.slot_of[i] = static_cast<int>(scratch.distance_queries.size());
+      scratch.distance_queries.push_back(RouteQuery{*x, *y});
+      scratch.distance_slots.push_back(i);
+    }
+  }
+  if (!scratch.route_queries.empty()) {
+    engine_.route_batch_into(scratch.route_queries, scratch.paths);
+  }
+  if (!scratch.distance_queries.empty()) {
+    scratch.distances = engine_.distance_batch(scratch.distance_queries);
+  }
+  // Answer in admission order; per-connection responses therefore arrive
+  // in the order the requests were accepted.
+  const auto now = std::chrono::steady_clock::now();
+  std::string frame;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Pending& pending = batch[i];
+    const Request& request = pending.request;
+    if (scratch.slot_of[i] < 0) {
+      respond_error(pending.conn, request.type, request.id,
+                    Status::BadRequest, "word does not name a vertex");
+      continue;
+    }
+    frame.clear();
+    const auto slot = static_cast<std::size_t>(scratch.slot_of[i]);
+    if (request.type == RequestType::Route) {
+      encode_route_response(request.id, scratch.paths[slot], frame);
+    } else {
+      encode_distance_response(
+          request.id, static_cast<std::uint32_t>(scratch.distances[slot]),
+          frame);
+    }
+    pending.conn->send(frame);
+    responses_ok_.fetch_add(1, std::memory_order_relaxed);
+    metrics_ok_.inc();
+    const double waited_us =
+        std::chrono::duration<double, std::micro>(now - pending.enqueued)
+            .count();
+    metrics_latency_us_.observe(waited_us);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  metrics_batches_.inc();
+  metrics_batch_size_.observe(static_cast<double>(batch.size()));
+  if (span) {
+    span.end(obs::wall_ts_micros());
+  }
+}
+
+}  // namespace dbn::serve

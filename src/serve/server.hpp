@@ -1,0 +1,207 @@
+// RouteServer — the long-running serving core behind `dbn serve`.
+//
+// The server owns one BatchRouteEngine (the PR-2 machinery: chunked
+// ThreadPool, per-worker BidirectionalRouteEngine arenas, sharded memo
+// cache) and turns it from a batch API into a daemon:
+//
+//   reader threads ──feed()──> bounded request queue ──> dispatcher thread
+//                                                           │ micro-batches
+//                                                           ▼
+//                                                   BatchRouteEngine
+//                                                           │ responses
+//                                                           ▼
+//                                              per-connection sinks
+//
+// Transport is someone else's job: a Connection is created per client with
+// a ResponseSink callback, raw bytes are pushed in with feed(), and
+// complete response frames come back out through the sink (from the reader
+// thread for rejects/control requests, from the dispatcher thread for
+// routed work — the sink is serialized per connection).
+//
+// Backpressure is explicit and bounded: the request queue holds at most
+// `queue_capacity` entries; when it is full, feed() answers Overloaded
+// immediately instead of queueing — memory use is bounded no matter how
+// fast clients push. Graceful drain (SIGTERM, stdin EOF): begin_drain()
+// stops admission (new work answers Draining), the dispatcher finishes
+// everything already queued, then wait_drained() returns. Every admitted
+// request is answered exactly once.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/batch_route_engine.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace dbn::serve {
+
+struct ServeConfig {
+  std::uint32_t d = 2;
+  std::size_t k = 10;
+  BatchBackend backend = BatchBackend::BidiEngine;
+  /// Worker threads of the routing engine (0 = hardware concurrency).
+  std::size_t threads = 1;
+  /// Bounded request-queue capacity; a full queue answers Overloaded.
+  std::size_t queue_capacity = 1024;
+  /// Largest micro-batch the dispatcher hands the engine at once.
+  std::size_t max_batch = 256;
+  /// Hot-route cache entries (the engine's sharded memo cache; 0 = off).
+  std::size_t cache_entries = 0;
+  WildcardMode wildcard_mode = WildcardMode::Concrete;
+};
+
+/// Admission/answer counters, readable at any time (snapshot semantics:
+/// counters are monotone; read after wait_drained() for exact totals).
+struct ServeStats {
+  std::uint64_t requests = 0;          // decoded requests of any type
+  std::uint64_t responses_ok = 0;
+  std::uint64_t rejected_overload = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::uint64_t rejected_draining = 0;
+  std::uint64_t protocol_errors = 0;   // connection-fatal framing errors
+  std::uint64_t batches = 0;           // dispatcher micro-batches
+};
+
+class RouteServer;
+
+/// One client of the server. feed() must be called from a single thread
+/// per connection (the transport's reader); the sink may fire from that
+/// thread or the dispatcher thread, never concurrently with itself.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// Receives one or more complete, encoded response frames.
+  using ResponseSink = std::function<void(std::string_view frames)>;
+
+  /// Parses `bytes` (any fragmentation) and admits complete requests.
+  /// Returns false once the connection hit a fatal framing error — the
+  /// transport should close it (no resync is possible).
+  bool feed(std::string_view bytes);
+
+  /// Detaches the sink: responses for still-queued requests are computed
+  /// (drain accounting stays exact) but discarded. Call when the peer hangs
+  /// up with requests in flight.
+  void close();
+
+  /// True at EOF time iff the peer never truncated a frame mid-stream.
+  bool clean() const;
+
+ private:
+  friend class RouteServer;
+  Connection(RouteServer* server, ResponseSink sink)
+      : server_(server), sink_(std::move(sink)) {}
+
+  void send(std::string_view frames);
+
+  RouteServer* server_;
+  FrameReader reader_;
+  bool failed_ = false;
+  std::mutex write_mutex_;  // serializes reader-thread and dispatcher sends
+  ResponseSink sink_;       // guarded by write_mutex_ (close() nulls it)
+};
+
+class RouteServer {
+ public:
+  explicit RouteServer(const ServeConfig& config);
+  ~RouteServer();  // begin_drain() + wait_drained()
+
+  RouteServer(const RouteServer&) = delete;
+  RouteServer& operator=(const RouteServer&) = delete;
+
+  /// Registers a client. The Connection stays valid until the server is
+  /// destroyed (shared_ptr keeps queued requests' back-references alive).
+  std::shared_ptr<Connection> connect(Connection::ResponseSink sink);
+
+  /// Stops admission: subsequent Route/Distance requests answer Draining;
+  /// the dispatcher finishes the queue. Idempotent, callable from a signal
+  /// watcher thread.
+  void begin_drain();
+
+  /// Blocks until the queue is empty and the dispatcher has exited.
+  /// Implies begin_drain().
+  void wait_drained();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  ServeStats stats() const;
+  std::size_t queue_depth() const;
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  friend class Connection;
+
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    Request request;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // Dispatcher-thread scratch, reused across micro-batches so the warmed
+  // steady state allocates only inside response frame encoding.
+  struct BatchScratch {
+    std::vector<RouteQuery> route_queries;
+    std::vector<std::size_t> route_slots;
+    std::vector<RouteQuery> distance_queries;
+    std::vector<std::size_t> distance_slots;
+    std::vector<int> slot_of;
+    std::vector<RoutingPath> paths;
+    std::vector<int> distances;
+  };
+
+  /// One decoded request from a connection's reader thread. Responds
+  /// inline (control/reject) or enqueues (route/distance).
+  void admit(const std::shared_ptr<Connection>& conn, Request request);
+  void respond_error(const std::shared_ptr<Connection>& conn,
+                     RequestType type, std::uint64_t id, Status status,
+                     std::string_view message);
+  void dispatcher_main();
+  void process_batch(std::vector<Pending>& batch, BatchScratch& scratch);
+  void note_protocol_error();
+
+  ServeConfig config_;
+  BatchRouteEngine engine_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::atomic<bool> draining_{false};
+  std::once_flag join_once_;
+
+  // Monotone counters (relaxed: read-mostly diagnostics; exact after
+  // wait_drained() joins the dispatcher).
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_ok_{0};
+  std::atomic<std::uint64_t> rejected_overload_{0};
+  std::atomic<std::uint64_t> rejected_bad_request_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> batches_{0};
+
+  obs::Counter metrics_requests_;
+  obs::Counter metrics_ok_;
+  obs::Counter metrics_overload_;
+  obs::Counter metrics_bad_request_;
+  obs::Counter metrics_draining_;
+  obs::Counter metrics_protocol_errors_;
+  obs::Counter metrics_batches_;
+  obs::Counter metrics_connections_;
+  obs::Histogram metrics_batch_size_;
+  obs::Histogram metrics_latency_us_;
+  obs::Gauge metrics_queue_depth_;
+
+  std::thread dispatcher_;  // last member: joins before the rest dies
+};
+
+}  // namespace dbn::serve

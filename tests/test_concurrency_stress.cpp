@@ -12,6 +12,8 @@
 //                     branches active.
 //   BatchRouteEngine  memo-cache sharding under parallel workers, plus
 //                     concurrent independent engines.
+//   RouteServer       concurrent client feeds racing the dispatcher, a
+//                     stats/queue-depth poller, and a mid-flight drain.
 //
 // The suite is deliberately small-N so it stays inside the unit tier on a
 // laptop, but every test keeps at least two OS threads genuinely racing.
@@ -31,6 +33,8 @@
 #include "core/batch_route_engine.hpp"
 #include "core/route_engine.hpp"
 #include "debruijn/word.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -391,6 +395,95 @@ TEST(ConcurrencyStressBatch, IndependentEnginesShareGlobalMetricsSafely) {
   for (auto& t : drivers) {
     t.join();
   }
+}
+
+// --- RouteServer ------------------------------------------------------------
+
+// Many clients feed concurrently while one thread polls stats() and
+// queue_depth() and another begins the drain mid-flight. Under TSan this
+// exercises the admission mutex, the per-connection write mutex, the
+// dispatcher handoff and the atomic counters all at once; under the
+// normal build the exactly-once accounting assertions still bite.
+TEST(ConcurrencyStressServe, ConcurrentClientsPollersAndDrain) {
+  serve::ServeConfig config;
+  config.d = 2;
+  config.k = 10;
+  config.threads = 2;
+  config.cache_entries = 128;
+  config.queue_capacity = 64;  // small enough that shedding really happens
+  config.max_batch = 16;
+  serve::RouteServer server(config);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::uint64_t kPerClient = 400;
+  struct ClientState {
+    std::mutex mutex;
+    std::string bytes;
+    std::shared_ptr<serve::Connection> conn;
+  };
+  std::vector<std::unique_ptr<ClientState>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    auto state = std::make_unique<ClientState>();
+    ClientState* raw = state.get();
+    state->conn = server.connect([raw](std::string_view frames) {
+      const std::lock_guard<std::mutex> lock(raw->mutex);
+      raw->bytes.append(frames);
+    });
+    clients.push_back(std::move(state));
+  }
+
+  std::atomic<bool> stop_polling{false};
+  std::thread poller([&server, &stop_polling] {
+    while (!stop_polling.load(std::memory_order_acquire)) {
+      const serve::ServeStats stats = server.stats();
+      ASSERT_GE(stats.requests, stats.responses_ok);
+      (void)server.queue_depth();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> feeders;
+  feeders.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    feeders.emplace_back([&, c] {
+      Rng rng(static_cast<std::uint64_t>(c) + 500);
+      std::string frame;
+      for (std::uint64_t i = 0; i < kPerClient; ++i) {
+        frame.clear();
+        serve::encode_route_request(
+            (static_cast<std::uint64_t>(c) << 48) | i,
+            random_word(rng, config.d, config.k),
+            random_word(rng, config.d, config.k), frame);
+        ASSERT_TRUE(clients[c]->conn->feed(frame));
+      }
+    });
+  }
+  for (auto& t : feeders) {
+    t.join();
+  }
+  server.begin_drain();
+  server.wait_drained();
+  stop_polling.store(true, std::memory_order_release);
+  poller.join();
+
+  // Every admitted request was answered exactly once, across all clients.
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, kClients * kPerClient);
+  EXPECT_EQ(stats.responses_ok + stats.rejected_overload +
+                stats.rejected_draining,
+            kClients * kPerClient);
+  std::size_t total_frames = 0;
+  for (const auto& client : clients) {
+    serve::FrameReader reader;
+    const std::lock_guard<std::mutex> lock(client->mutex);
+    reader.feed(client->bytes);
+    std::string payload;
+    while (reader.next(payload) == serve::FrameReader::Result::Frame) {
+      ++total_frames;
+    }
+    ASSERT_EQ(reader.pending_bytes(), 0u);
+  }
+  EXPECT_EQ(total_frames, kClients * kPerClient);
 }
 
 TEST(ConcurrencyStressBatch, DistanceBatchMatchesRouteLengths) {

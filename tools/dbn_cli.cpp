@@ -7,6 +7,7 @@
 //   dbn stats <d> <k>
 //   dbn broadcast <d> <k> <root> [--single-port]
 //   dbn simulate <d> <k> [--rate=R] [--duration=T] [--policy=zero|random|lq]
+//   dbn serve <d> <k> [--stdio | --port=N] [--port-file=PATH] [--backend=...]
 //
 // Every command also accepts --trace-out=FILE (route spans / simulator
 // events as trace/1 NDJSON, or Chrome trace_event JSON when FILE ends in
@@ -16,6 +17,8 @@
 // Words are digit strings, e.g. "0110" for (0,1,1,0); digits above 9 are
 // not supported on the command line (the library itself has no such
 // limit). Exit status 0 on success, 1 on usage errors.
+#include <atomic>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
@@ -39,6 +42,8 @@
 #include "net/simulator.hpp"
 #include "net/traffic.hpp"
 #include "obs_flags.hpp"
+#include "serve/io.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -57,6 +62,10 @@ void usage(std::ostream& out) {
          "  dbn kautz <d> <k> [<X> <Y>]\n"
          "  dbn simulate <d> <k> [--rate=R] [--duration=T] "
          "[--policy=zero|random|lq]\n"
+         "  dbn serve <d> <k> [--stdio | --port=N] [--port-file=PATH]\n"
+         "            [--backend=uni|bidi|st|table] [--threads=N] "
+         "[--queue=N]\n"
+         "            [--batch=N] [--cache=N] [--wildcards]\n"
          "all commands accept --trace-out=FILE and --metrics-out=FILE\n"
          "words are digit strings, e.g. 0110\n";
 }
@@ -306,6 +315,71 @@ int cmd_simulate(std::uint32_t d, std::size_t k,
   return 0;
 }
 
+// Set by the SIGTERM/SIGINT handler; serve_tcp's accept loop polls it.
+std::atomic<bool> g_serve_stop{false};
+
+void serve_stop_handler(int /*signum*/) {
+  g_serve_stop.store(true, std::memory_order_release);
+}
+
+int cmd_serve(std::uint32_t d, std::size_t k,
+              const std::vector<std::string_view>& args) {
+  serve::ServeConfig config;
+  config.d = d;
+  config.k = k;
+  const std::string backend =
+      std::string(flag_value(args, "--backend").value_or("bidi"));
+  if (backend == "uni") {
+    config.backend = BatchBackend::Alg1Directed;
+  } else if (backend == "bidi") {
+    config.backend = BatchBackend::BidiEngine;
+  } else if (backend == "st") {
+    config.backend = BatchBackend::BidiSuffixTree;
+  } else if (backend == "table") {
+    config.backend = BatchBackend::CompiledTable;
+  } else {
+    std::cerr << "unknown backend: " << backend << " (uni|bidi|st|table)\n";
+    return 1;
+  }
+  const auto num_flag = [&args](std::string_view name, std::size_t fallback) {
+    const auto v = flag_value(args, name);
+    return v ? static_cast<std::size_t>(std::atoll(std::string(*v).c_str()))
+             : fallback;
+  };
+  config.threads = num_flag("--threads", config.threads);
+  config.queue_capacity = num_flag("--queue", config.queue_capacity);
+  config.max_batch = num_flag("--batch", config.max_batch);
+  config.cache_entries = num_flag("--cache", config.cache_entries);
+  if (has_flag(args, "--wildcards")) {
+    config.wildcard_mode = WildcardMode::Wildcards;
+  }
+  serve::RouteServer server(config);
+  int rc = 0;
+  if (has_flag(args, "--stdio")) {
+    // stdin EOF is the drain signal in this mode; SIGTERM keeps its
+    // default disposition (use the TCP mode for signal-driven drains).
+    rc = serve::serve_stdio(server, std::cin, std::cout);
+  } else {
+    serve::TcpOptions tcp;
+    tcp.port = static_cast<std::uint16_t>(num_flag("--port", 0));
+    tcp.port_file = std::string(flag_value(args, "--port-file").value_or(""));
+    g_serve_stop.store(false);
+    std::signal(SIGTERM, serve_stop_handler);
+    std::signal(SIGINT, serve_stop_handler);
+    std::cerr << "dbn serve: DN(" << d << "," << k << "), backend " << backend
+              << ", queue " << config.queue_capacity << ", batch "
+              << config.max_batch << "\n";
+    rc = serve::serve_tcp(server, tcp, g_serve_stop);
+  }
+  const serve::ServeStats s = server.stats();
+  std::cerr << "dbn serve: drained; " << s.requests << " requests, "
+            << s.responses_ok << " ok, " << s.rejected_overload
+            << " overloaded, " << s.rejected_bad_request << " bad, "
+            << s.rejected_draining << " draining, " << s.protocol_errors
+            << " protocol errors, " << s.batches << " batches\n";
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,6 +427,9 @@ int main(int argc, char** argv) {
     }
     if (command == "simulate") {
       return cmd_simulate(d, k, rest);
+    }
+    if (command == "serve") {
+      return cmd_serve(d, k, rest);
     }
     std::cerr << "unknown command: " << command << "\n";
     usage(std::cerr);
