@@ -1,65 +1,182 @@
-// Experiment D9 — the classic interconnect figure the 1990 paper predates:
-// offered load vs delivered latency for DN(2,8), wildcard-balanced
-// Algorithm 4 paths. Mean latency stays near the average distance until
-// the network approaches saturation, then the queueing knee appears.
-#include <iostream>
+// Saturation study for the deflection stack, in two parts.
+//
+// Per-decision cost — the tentpole ratio CI gates (bench_report.py
+// --max-deflection-cost): BM_DeflectionRescore is the historical adaptive
+// scoring, one O(k) Theorem-2 distance per neighbor per hop;
+// BM_LayerTableClassify is the same decision answered by the cached
+// per-destination layer table (core/layer_table.hpp), two byte loads. Both
+// run the identical pair stream over DN(2,16) so the derived row
+// derived/deflection_cost = classify / rescore is a like-for-like ratio.
+//
+// Injection sweep — BM_Saturation{Greedy,Deflect,LayerTable} drive the
+// discrete-event simulator on DN(2,8) with finite link queues across
+// offered loads (Arg = injection rate per site, in percent). Delivered
+// messages are the items/s figure; the delivered fraction and drop mix
+// ride along as counters, and every run feeds the PR-4 metrics pipeline
+// (net/load_stats.hpp) so a --metrics-out snapshot sees the saturation
+// counters too.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "common/ascii_plot.hpp"
 #include "common/rng.hpp"
-#include "common/table.hpp"
-#include "core/routers.hpp"
+#include "core/distance.hpp"
+#include "core/layer_table.hpp"
+#include "debruijn/graph.hpp"
+#include "net/load_stats.hpp"
 #include "net/simulator.hpp"
 #include "net/traffic.hpp"
+#include "obs/metrics.hpp"
 
-int main() {
-  using namespace dbn;
-  using namespace dbn::net;
-  constexpr std::uint32_t d = 2;
-  constexpr std::size_t k = 8;
-  std::cout << "== Experiment D9: load-latency curve, DN(2,8) ==\n\n";
+namespace {
 
-  std::vector<double> rates;
-  for (double r = 0.02; r <= 0.44; r += 0.03) {
-    rates.push_back(r);
+using namespace dbn;
+
+// One pre-sampled neighborhood decision: classify `neighbor` of `from`
+// relative to a fixed destination. Both scorings consume the same stream.
+struct DecisionStream {
+  DeBruijnGraph graph;
+  Word y;
+  std::vector<std::uint64_t> from_ranks;
+  std::vector<std::uint64_t> neighbor_ranks;
+  std::vector<Word> neighbor_words;
+  std::vector<int> here;  // D(from, y), known to the router at the hop
+
+  DecisionStream(std::size_t k, std::size_t count)
+      : graph(2, k, Orientation::Undirected), y(Word::zero(2, k)) {
+    Rng rng(99);
+    y = Word::from_rank(2, k, rng.below(graph.vertex_count()));
+    from_ranks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t from = rng.below(graph.vertex_count());
+      const std::vector<std::uint64_t> nbrs = graph.neighbors(from);
+      const std::uint64_t nbr = nbrs[rng.below(nbrs.size())];
+      from_ranks.push_back(from);
+      neighbor_ranks.push_back(nbr);
+      neighbor_words.push_back(graph.word(nbr));
+      here.push_back(undirected_distance(graph.word(from), y));
+    }
   }
-  Table table({"rate/site", "delivered", "mean lat", "p99 lat", "max queue"});
-  PlotSeries mean_series{{}, {}, '*', "mean latency"};
-  PlotSeries p99_series{{}, {}, '9', "p99 latency"};
-  for (const double rate : rates) {
-    SimConfig config;
-    config.radix = d;
-    config.k = k;
-    config.wildcard_policy = WildcardPolicy::Random;
-    Simulator sim(config);
-    Rng rng(static_cast<std::uint64_t>(rate * 1000));
-    for (const Injection& inj : uniform_traffic(d, k, rate, 250.0, rng)) {
-      const Word src = Word::from_rank(d, k, inj.source);
-      const Word dst = Word::from_rank(d, k, inj.destination);
+};
+
+constexpr std::size_t kDecisions = 1024;
+
+void BM_DeflectionRescore(benchmark::State& state) {
+  const DecisionStream stream(static_cast<std::size_t>(state.range(0)),
+                              kDecisions);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kDecisions; ++i) {
+      // The old adaptive hot path: recompute D(neighbor, Y) and compare to
+      // the current layer.
+      const int there = undirected_distance(stream.neighbor_words[i], stream.y);
+      const int here = stream.here[i];
+      acc += there < here ? 0u : there == here ? 1u : 2u;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDecisions));
+}
+BENCHMARK(BM_DeflectionRescore)->Arg(16);
+
+void BM_LayerTableClassify(benchmark::State& state) {
+  const DecisionStream stream(static_cast<std::size_t>(state.range(0)),
+                              kDecisions);
+  LayerTable table(stream.graph);
+  // Warm the destination's table: per-walk builds are measured by the
+  // layer.builds metric, not by the per-hop loop this gates.
+  const std::shared_ptr<const LayerTable::View> view = table.view(stream.y);
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < kDecisions; ++i) {
+      acc += static_cast<std::uint64_t>(
+          view->classify(stream.from_ranks[i], stream.neighbor_ranks[i]));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDecisions));
+}
+BENCHMARK(BM_LayerTableClassify)->Arg(16);
+
+// --- Injection-rate sweep ---------------------------------------------------
+
+constexpr std::uint32_t kSatRadix = 2;
+constexpr std::size_t kSatK = 8;  // 256 sites
+constexpr double kSatDuration = 60.0;
+
+void run_saturation(benchmark::State& state, net::ForwardingMode forwarding,
+                    net::AdaptiveScoring scoring) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_overflow = 0;
+  std::uint64_t dropped_ttl = 0;
+  for (auto _ : state) {
+    net::SimConfig config;
+    config.radix = kSatRadix;
+    config.k = kSatK;
+    config.orientation = Orientation::Undirected;
+    config.link_queue_capacity = 4;  // finite queues: saturation sheds load
+    config.forwarding = forwarding;
+    config.adaptive_scoring = scoring;
+    net::Simulator sim(config);
+    Rng rng(7);
+    for (const net::Injection& inj :
+         net::uniform_traffic(kSatRadix, kSatK, rate, kSatDuration, rng)) {
       sim.inject(inj.time,
-                 Message(ControlCode::Data, src, dst,
-                         route_bidirectional_suffix_tree(
-                             src, dst, WildcardMode::Wildcards)));
+                 net::Message(net::ControlCode::Data,
+                              Word::from_rank(kSatRadix, kSatK, inj.source),
+                              Word::from_rank(kSatRadix, kSatK,
+                                              inj.destination),
+                              RoutingPath()));
     }
     sim.run();
-    const SimStats& s = sim.stats();
-    table.add_row({Table::num(rate, 2), std::to_string(s.delivered),
-                   Table::num(s.mean_latency(), 2),
-                   Table::num(s.latency_percentile(99), 2),
-                   std::to_string(s.max_queue)});
-    mean_series.xs.push_back(rate);
-    mean_series.ys.push_back(s.mean_latency());
-    p99_series.xs.push_back(rate);
-    p99_series.ys.push_back(s.latency_percentile(99));
+    const net::SimStats& stats = sim.stats();
+    injected += stats.injected;
+    delivered += stats.delivered;
+    dropped_overflow += stats.dropped_overflow;
+    dropped_ttl += stats.dropped_ttl;
+    net::record_sim_metrics(obs::MetricsRegistry::global(), sim);
   }
-  table.print(std::cout, "Uniform Poisson traffic, 250 time units per point");
-  std::cout << "\n";
-  AsciiPlot plot(60, 16);
-  plot.add_series(std::move(mean_series));
-  plot.add_series(std::move(p99_series));
-  plot.print(std::cout, "Latency vs offered load (rate per site)");
-  std::cout << "\nShape: flat near the average distance (~5) at low load, "
-               "then the queueing\nknee as links saturate — the classic "
-               "hockey stick.\n";
-  return 0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  const double runs = std::max<double>(static_cast<double>(state.iterations()), 1.0);
+  state.counters["offered_rate"] = rate;
+  state.counters["delivered_frac"] =
+      injected == 0 ? 0.0
+                    : static_cast<double>(delivered) /
+                          static_cast<double>(injected);
+  // Delivered throughput in messages per simulated time unit — the y axis
+  // of the classic saturation figure.
+  state.counters["sim_throughput"] =
+      static_cast<double>(delivered) / (runs * kSatDuration);
+  state.counters["overflow_drops"] =
+      static_cast<double>(dropped_overflow) / runs;
+  state.counters["ttl_drops"] = static_cast<double>(dropped_ttl) / runs;
 }
+
+void BM_SaturationGreedy(benchmark::State& state) {
+  run_saturation(state, net::ForwardingMode::HopByHop,
+                 net::AdaptiveScoring::Rescore);
+}
+BENCHMARK(BM_SaturationGreedy)->Arg(5)->Arg(20)->Arg(35)->Arg(50);
+
+void BM_SaturationDeflect(benchmark::State& state) {
+  run_saturation(state, net::ForwardingMode::Adaptive,
+                 net::AdaptiveScoring::Rescore);
+}
+BENCHMARK(BM_SaturationDeflect)->Arg(5)->Arg(20)->Arg(35)->Arg(50);
+
+void BM_SaturationLayerTable(benchmark::State& state) {
+  run_saturation(state, net::ForwardingMode::Adaptive,
+                 net::AdaptiveScoring::LayerTable);
+}
+BENCHMARK(BM_SaturationLayerTable)->Arg(5)->Arg(20)->Arg(35)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -22,7 +22,13 @@ Two subcommands:
            When the bench_serve pair (BM_ServeSteadyState sustained QPS +
            p50/p99 latency counters, BM_ServeEngineOnly denominator) is
            recorded, a derived serve-overhead ratio is appended and
-           --max-serve-overhead R gates it at record time too.
+           --max-serve-overhead R gates it at record time too. When the
+           bench_saturation pair (BM_LayerTableClassify O(1) layer reads,
+           BM_DeflectionRescore O(k) re-scoring, same decision stream) is
+           recorded, a derived deflection-cost ratio is appended and
+           --max-deflection-cost R fails when a layer-table decision costs
+           more than R x the re-scoring decision (CI uses 0.2: the table
+           must be at least 5x cheaper or it is not paying for its memory).
 
   compare  Check a fresh report against a committed baseline and fail
            (exit 1) when any comparable single-thread entry regressed by
@@ -178,6 +184,40 @@ def derive_serve_overhead(rows):
     return ratio
 
 
+def derive_deflection_cost(rows):
+    """Appends the derived deflection-cost row; returns the ratio.
+
+    Compares the two per-decision rows of bench_saturation at k=16:
+      BM_DeflectionRescore/16    O(k) Theorem-2 distance per neighbor (the
+                                 historical adaptive scoring)
+      BM_LayerTableClassify/16   two byte loads from the warmed layer table
+    Both consume the identical pre-sampled (from, neighbor) stream, so the
+    ratio is the per-decision price of re-scoring relative to the table —
+    the number the layer-table tentpole exists to shrink. Returns None
+    when either row is absent.
+    """
+    def find(suffix):
+        for row in rows:
+            if row["name"].endswith(suffix):
+                return row["best_ns_per_query"]
+        return None
+
+    rescore = find("/BM_DeflectionRescore/16")
+    classify = find("/BM_LayerTableClassify/16")
+    if rescore is None or classify is None:
+        return None
+    ratio = classify / rescore
+    rows.append({
+        "name": "derived/deflection_cost",
+        "backend": "derived",
+        "threads": 1,
+        "best_ns_per_query": ratio,  # a ratio, not a timing
+        "note": "BM_LayerTableClassify / BM_DeflectionRescore at k=16 "
+                "(same run)",
+    })
+    return ratio
+
+
 # Numeric fields of a Google-Benchmark JSON row that are part of the
 # format itself; everything else numeric is a user counter (e.g. the
 # p99_us latency BM_ServeSteadyState reports) and rides along in the row.
@@ -249,6 +289,7 @@ def cmd_record(args):
     disabled_overhead = derive_tracing_overhead(report["results"])
     bidi_vs_alg1 = derive_bidi_vs_alg1(report["results"])
     serve_overhead = derive_serve_overhead(report["results"])
+    deflection_cost = derive_deflection_cost(report["results"])
     report["schema"] = SCHEMA
     report["generated_by"] = "scripts/bench_report.py"
     if metrics:
@@ -300,6 +341,19 @@ def cmd_record(args):
         print("bench_report: FAIL --max-serve-overhead set but the "
               "BM_ServeSteadyState/BM_ServeEngineOnly pair was not "
               "recorded (add --gbench bench_serve)")
+        return 1
+    if deflection_cost is not None:
+        print(f"bench_report: deflection cost {deflection_cost:.3f}x")
+        if args.max_deflection_cost > 0 and \
+                deflection_cost > args.max_deflection_cost:
+            print(f"bench_report: FAIL a layer-table decision costs "
+                  f"{deflection_cost:.3f}x the re-scoring decision > allowed "
+                  f"{args.max_deflection_cost:.2f}x")
+            return 1
+    elif args.max_deflection_cost > 0:
+        print("bench_report: FAIL --max-deflection-cost set but the "
+              "BM_DeflectionRescore/BM_LayerTableClassify pair was not "
+              "recorded (add --gbench bench_saturation)")
         return 1
     return 0
 
@@ -384,6 +438,10 @@ def main():
                      help="fail when the serving stack sustains fewer than "
                           "1/R of the bare engine's items/s at the same "
                           "configuration (0 = no gate; CI uses 8.0)")
+    rec.add_argument("--max-deflection-cost", type=float, default=0.0,
+                     help="fail when an O(1) layer-table deflection "
+                          "decision costs more than this ratio of the O(k) "
+                          "re-scoring decision (0 = no gate; CI uses 0.2)")
     rec.set_defaults(func=cmd_record)
 
     cmp_ = sub.add_parser("compare", help="gate a report against a baseline")

@@ -32,4 +32,25 @@ inline constexpr std::string_view kServe = "serve/1";
 /// scripts/check_metrics.py reads the server-side metrics instead).
 inline constexpr std::string_view kLoadgen = "loadgen/1";
 
+/// Registry names for metrics that more than one subsystem reads or
+/// writes (emitter in src/, consumers in scripts/ and the bench layer).
+/// Single-writer metric names may stay literal at their emission site;
+/// these are the shared ones, so renames are a one-line diff here.
+namespace metric {
+
+/// Distance-layer table cache (core/layer_table.hpp): destination-view
+/// lookups, cache hits, full O(N k) table builds, and direct-mapped
+/// evictions of a live destination.
+inline constexpr std::string_view kLayerLookups = "layer.lookups";
+inline constexpr std::string_view kLayerHits = "layer.hits";
+inline constexpr std::string_view kLayerBuilds = "layer.builds";
+inline constexpr std::string_view kLayerEvictions = "layer.evictions";
+
+/// Simulator adaptive-forwarding outcomes (net/load_stats.cpp): messages
+/// dropped on TTL exhaustion and backward (deflection) moves taken.
+inline constexpr std::string_view kSimDroppedTtl = "sim.dropped_ttl";
+inline constexpr std::string_view kSimDeflections = "sim.adaptive_deflections";
+
+}  // namespace metric
+
 }  // namespace dbn::schema

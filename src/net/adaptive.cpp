@@ -1,6 +1,7 @@
 #include "net/adaptive.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/contract.hpp"
 #include "core/distance.hpp"
@@ -21,6 +22,18 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
               "adaptive_route endpoints must be live");
   DBN_REQUIRE(graph.orientation() == Orientation::Undirected,
               "adaptive routing uses the bi-directional distance function");
+  DBN_REQUIRE(config.layers == nullptr ||
+                  config.layers->vertex_count() == graph.vertex_count(),
+              "layer table must cover the routed graph");
+
+  // One cache interaction per walk: the destination's view is pinned here
+  // and every per-hop decision below is plain array reads.
+  const std::shared_ptr<const LayerTable::View> view =
+      config.layers != nullptr ? config.layers->view(y) : nullptr;
+  const auto distance_to_y = [&](const Word& w) {
+    return view != nullptr ? view->distance(w.rank())
+                           : undirected_distance(w, y);
+  };
 
   // 4k covers greedy walks with detours for k >= 2; at k = 1 it leaves a
   // 4-hop budget that real fault clusters exhaust, so floor it.
@@ -34,10 +47,14 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
                             obs::TraceClock::Logical, 0.0);
     span.arg(obs::targ("x", x.to_string()))
         .arg(obs::targ("y", y.to_string()))
-        .arg(obs::targ("ttl", ttl));
+        .arg(obs::targ("ttl", ttl))
+        .arg(obs::targ("scoring", view != nullptr ? "layer-table" : "rescore"));
   }
   Word at = x;
   std::uint64_t previous = graph.vertex_count();  // sentinel: no previous
+  std::vector<Word> improving;  // layer Closer
+  std::vector<Word> sideways;   // layer Same
+  std::vector<Word> backward;   // nearest Farther layer
   while (!(at == y)) {
     if (result.hops >= ttl) {
       if (span) {
@@ -47,29 +64,43 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
       }
       return result;  // undelivered
     }
-    const int here = undirected_distance(at, y);
-    std::vector<Word> improving;
-    std::vector<Word> sideways;
-    std::vector<Word> backward;  // live neighbors at minimal dist > here
+    const int here = distance_to_y(at);
+    improving.clear();
+    sideways.clear();
+    backward.clear();
     int backward_best = 0;
     for (const std::uint64_t r : graph.neighbors(at.rank())) {
       if (failed[r]) {
         continue;
       }
       const Word next = graph.word(r);
-      const int dist = undirected_distance(next, y);
-      if (dist == here - 1) {
-        improving.push_back(next);
-      } else if (dist == here) {
-        sideways.push_back(next);
-      } else if (config.deflect) {
-        if (backward.empty() || dist < backward_best) {
-          backward_best = dist;
-          backward.clear();
-        }
-        if (dist == backward_best) {
-          backward.push_back(next);
-        }
+      const int dist = distance_to_y(next);
+      const DistanceLayer layer = dist < here    ? DistanceLayer::Closer
+                                  : dist == here ? DistanceLayer::Same
+                                                 : DistanceLayer::Farther;
+      switch (layer) {
+        case DistanceLayer::Closer:
+          improving.push_back(next);
+          break;
+        case DistanceLayer::Same:
+          sideways.push_back(next);
+          break;
+        case DistanceLayer::Farther:
+          if (!config.deflect) {
+            break;
+          }
+          // In the undirected DG every Farther neighbor sits exactly one
+          // layer out (the distance is a graph metric), so this minimum is
+          // trivially the whole pool; tracking it keeps the deflection
+          // choice well-defined for any distance source.
+          if (backward.empty() || dist < backward_best) {
+            backward_best = dist;
+            backward.clear();
+          }
+          if (dist == backward_best) {
+            backward.push_back(next);
+          }
+          break;
       }
     }
     const bool take_sideways =
@@ -86,8 +117,8 @@ AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
         }
         return result;  // stuck: every live neighbor is dead or none exist
       }
-      // Deflect: retreat along the best distance layer, but never straight
-      // back to where we came from when any other escape exists.
+      // Deflect: retreat along the nearest Farther layer, but never
+      // straight back to where we came from when any other escape exists.
       if (backward.size() > 1) {
         std::vector<Word> away;
         for (const Word& w : backward) {

@@ -2,19 +2,24 @@
 //
 // The fault-aware router (net/fault.hpp) assumes the source knows every
 // failed site — global state a real network rarely has. Here each site
-// knows only which of its own neighbors are dead, and greedily forwards
-// using the O(k) distance function: strictly improving live neighbors
-// first, sideways moves (equal distance) as an escape, and — when a fault
-// cluster kills every non-worsening neighbor — a deflection fallback that
-// retreats through the live neighbor minimizing D(·,Y), the distance-layer
-// structure Fàbrega/Martí-Farré/Muñoz exploit for deflection routing in
-// DG(d,k). A TTL guards against livelock. Delivery is still not
-// guaranteed, which is exactly what the S2-companion benchmark quantifies.
+// knows only which of its own neighbors are dead and forwards by the
+// distance-layer trichotomy (core/layer_table.hpp): neighbors one layer
+// Closer to Y first, Same-layer sideways moves as an escape, and — when a
+// fault cluster kills every non-worsening neighbor — a deflection fallback
+// that retreats through the Farther layer, the structure
+// Fàbrega/Martí-Farré/Muñoz exploit for deflection routing in DG(d,k).
+// With a LayerTable wired in, each per-neighbor decision is two table
+// reads; without one, the O(k) Theorem-2 distance is recomputed per
+// neighbor per hop (the historical policy, kept as the measurement
+// baseline — both paths make bit-identical decisions). A TTL guards
+// against livelock. Delivery is still not guaranteed, which is exactly
+// what the saturation benchmark quantifies.
 #pragma once
 
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/layer_table.hpp"
 #include "debruijn/graph.hpp"
 #include "debruijn/word.hpp"
 
@@ -34,14 +39,19 @@ struct AdaptiveConfig {
   /// improving neighbor exists; small values help escape fault clusters.
   double jitter = 0.0;
   /// When no live neighbor improves or holds D(·,Y), fall back to the live
-  /// neighbor(s) with the smallest distance increase instead of giving up;
-  /// avoids bouncing straight back when any alternative exists.
+  /// neighbor(s) in the nearest Farther layer instead of giving up; avoids
+  /// bouncing straight back when any alternative exists.
   bool deflect = true;
+  /// Optional O(1) layer classifier (non-owning; must cover the same
+  /// graph). nullptr = re-score every neighbor with the O(k) distance
+  /// function. The decisions are identical either way; only the per-hop
+  /// cost differs (bench_saturation measures the gap, CI gates it).
+  LayerTable* layers = nullptr;
 };
 
 /// Walks from x to y over live sites only. `failed[r]` marks dead sites;
 /// x and y must be live. Randomized tie-breaking via `rng` (deterministic
-/// under a fixed seed).
+/// under a fixed seed; the draw sequence does not depend on config.layers).
 AdaptiveResult adaptive_route(const DeBruijnGraph& graph,
                               const std::vector<bool>& failed, const Word& x,
                               const Word& y, Rng& rng,

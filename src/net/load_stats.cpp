@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/schema.hpp"
 #include "net/simulator.hpp"
 
 namespace dbn::net {
@@ -46,6 +47,9 @@ void record_sim_metrics(obs::MetricsRegistry& registry, const Simulator& sim) {
   registry.counter("sim.dropped_link").inc(stats.dropped_link);
   registry.counter("sim.dropped_overflow").inc(stats.dropped_overflow);
   registry.counter("sim.misdelivered").inc(stats.misdelivered);
+  registry.counter(schema::metric::kSimDroppedTtl).inc(stats.dropped_ttl);
+  registry.counter(schema::metric::kSimDeflections)
+      .inc(stats.adaptive_deflections);
   registry.counter("sim.fault_events").inc(stats.fault_events_applied);
 
   obs::Histogram link_load = registry.histogram(

@@ -53,6 +53,8 @@ AttemptOutcome outcome_from_drop(DropReason reason) {
       return AttemptOutcome::DroppedOverflow;
     case DropReason::Misdelivered:
       return AttemptOutcome::Misdelivered;
+    case DropReason::Ttl:
+      return AttemptOutcome::DroppedTtl;
   }
   return AttemptOutcome::Pending;
 }
@@ -99,6 +101,8 @@ const char* attempt_outcome_name(AttemptOutcome outcome) {
       return "dropped_overflow";
     case AttemptOutcome::Misdelivered:
       return "misdelivered";
+    case AttemptOutcome::DroppedTtl:
+      return "dropped_ttl";
   }
   return "?";
 }

@@ -67,6 +67,7 @@ enum class AttemptOutcome : std::uint8_t {
   DroppedLink,      // crossed a failed link
   DroppedOverflow,  // link queue over capacity
   Misdelivered,     // path exhausted at a wrong site
+  DroppedTtl,       // adaptive walk exhausted its TTL
 };
 
 const char* attempt_cause_name(AttemptCause cause);

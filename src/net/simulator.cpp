@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/contract.hpp"
+#include "core/distance.hpp"
 #include "core/hop_by_hop.hpp"
 #include "obs/trace.hpp"
 
@@ -39,6 +40,8 @@ const char* drop_reason_name(DropReason reason) {
       return "overflow";
     case DropReason::Misdelivered:
       return "misdelivered";
+    case DropReason::Ttl:
+      return "ttl";
   }
   return "?";
 }
@@ -61,6 +64,17 @@ Simulator::Simulator(const SimConfig& config)
   DBN_REQUIRE(config.link_delay > 0.0, "link_delay must be positive");
   DBN_REQUIRE(graph_.vertex_count() <= kMaxSimVertices,
               "network too large to simulate (d^k > 2^26)");
+  if (config.forwarding == ForwardingMode::Adaptive) {
+    DBN_REQUIRE(config.orientation == Orientation::Undirected,
+                "adaptive forwarding needs the undirected orientation");
+    DBN_REQUIRE(config.adaptive_ttl >= 0, "adaptive_ttl must be >= 0");
+    adaptive_ttl_ = config.adaptive_ttl > 0
+                        ? config.adaptive_ttl
+                        : std::max(4 * static_cast<int>(config.k), 8);
+    if (config.adaptive_scoring == AdaptiveScoring::LayerTable) {
+      layers_ = std::make_unique<LayerTable>(graph_);
+    }
+  }
   failed_.resize(graph_.vertex_count(), false);
 }
 
@@ -156,7 +170,8 @@ void Simulator::inject(double time, Message message) {
                          static_cast<std::uint64_t>(message.path.length()))});
   }
   flights_.push_back(
-      InFlight{std::move(message), time, /*cursor=*/0, source_rank});
+      InFlight{std::move(message), time, /*cursor=*/0, source_rank,
+               /*previous=*/graph_.vertex_count(), /*view=*/nullptr});
   if (config_.record_traces) {
     traces_.emplace_back();
   }
@@ -281,6 +296,9 @@ void Simulator::drop(std::size_t flight_index, DropReason reason,
     case DropReason::Misdelivered:
       ++stats_.misdelivered;
       break;
+    case DropReason::Ttl:
+      ++stats_.dropped_ttl;
+      break;
   }
   const InFlight& flight = flights_[flight_index];
   if (obs::tracing_enabled()) {
@@ -296,6 +314,73 @@ void Simulator::drop(std::size_t flight_index, DropReason reason,
   }
 }
 
+std::optional<std::uint64_t> Simulator::adaptive_next(InFlight& flight,
+                                                      std::uint64_t at,
+                                                      bool& deflected) {
+  const Word& dest = flight.message.destination;
+  if (layers_ != nullptr && flight.view == nullptr) {
+    // Pin the destination's table once per message; every hop after this
+    // classifies neighbors with plain array reads.
+    flight.view = layers_->view(dest);
+  }
+  const LayerTable::View* view = flight.view.get();
+  const auto dist_to = [&](std::uint64_t r) {
+    return view != nullptr ? view->distance(r)
+                           : undirected_distance(graph_.word(r), dest);
+  };
+  // The decision rule of net/adaptive.hpp, verbatim: Closer first, Same as
+  // a jittered escape, nearest Farther layer as the deflection fallback.
+  const int here = dist_to(at);
+  std::vector<std::uint64_t> improving;
+  std::vector<std::uint64_t> sideways;
+  std::vector<std::uint64_t> backward;
+  int backward_best = 0;
+  for (const std::uint64_t r : graph_.neighbors(at)) {
+    if (failed_[r]) {
+      continue;
+    }
+    const int dist = dist_to(r);
+    if (dist < here) {
+      improving.push_back(r);
+    } else if (dist == here) {
+      sideways.push_back(r);
+    } else {
+      if (backward.empty() || dist < backward_best) {
+        backward_best = dist;
+        backward.clear();
+      }
+      if (dist == backward_best) {
+        backward.push_back(r);
+      }
+    }
+  }
+  const bool take_sideways =
+      improving.empty() ||
+      (!sideways.empty() && rng_.chance(config_.adaptive_jitter));
+  const std::vector<std::uint64_t>* pool =
+      take_sideways ? &sideways : &improving;
+  deflected = false;
+  if (pool->empty()) {
+    if (backward.empty()) {
+      return std::nullopt;  // stuck: every live neighbor is dead
+    }
+    if (backward.size() > 1) {
+      std::vector<std::uint64_t> away;
+      for (const std::uint64_t r : backward) {
+        if (r != flight.previous) {
+          away.push_back(r);
+        }
+      }
+      if (!away.empty()) {
+        backward = std::move(away);
+      }
+    }
+    pool = &backward;
+    deflected = true;
+  }
+  return (*pool)[rng_.below(pool->size())];
+}
+
 void Simulator::arrive(std::size_t flight_index) {
   InFlight& flight = flights_[flight_index];
   const std::uint64_t at = flight.at;
@@ -306,35 +391,62 @@ void Simulator::arrive(std::size_t flight_index) {
     drop(flight_index, DropReason::Fault, at);
     return;
   }
-  Hop hop;
-  if (config_.forwarding == ForwardingMode::SourceRouted) {
-    const RoutingPath& path = flight.message.path;
-    if (flight.cursor == path.length()) {
-      // Paper: empty routing-path field => the message is destined here.
-      if (at == flight.message.destination.rank()) {
-        deliver(flight);
-      } else {
-        drop(flight_index, DropReason::Misdelivered, at);
-      }
-      return;
-    }
-    hop = path.hop(flight.cursor);
-  } else {
+  std::uint64_t to = 0;
+  const char* shift_label = "L";
+  Digit digit = 0;
+  if (config_.forwarding == ForwardingMode::Adaptive) {
     if (at == flight.message.destination.rank()) {
       deliver(flight);
       return;
     }
-    // Each site computes the greedy next hop itself — O(d k), no path
-    // field consulted.
-    const Word here = graph_.word(at);
-    hop = config_.orientation == Orientation::Directed
-              ? next_hop_unidirectional(here, flight.message.destination)
-              : next_hop_bidirectional(here, flight.message.destination);
+    if (flight.cursor >= static_cast<std::size_t>(adaptive_ttl_)) {
+      drop(flight_index, DropReason::Ttl, at);
+      return;
+    }
+    bool deflected = false;
+    const std::optional<std::uint64_t> next =
+        adaptive_next(flight, at, deflected);
+    if (!next.has_value()) {
+      // A dead neighborhood is a fault outcome: the site is alive but
+      // every exit is down.
+      drop(flight_index, DropReason::Fault, at);
+      return;
+    }
+    to = *next;
+    shift_label = "A";  // adaptive moves are not tied to one shift type
+    flight.previous = at;
+    stats_.adaptive_deflections += deflected;
+  } else {
+    Hop hop;
+    if (config_.forwarding == ForwardingMode::SourceRouted) {
+      const RoutingPath& path = flight.message.path;
+      if (flight.cursor == path.length()) {
+        // Paper: empty routing-path field => the message is destined here.
+        if (at == flight.message.destination.rank()) {
+          deliver(flight);
+        } else {
+          drop(flight_index, DropReason::Misdelivered, at);
+        }
+        return;
+      }
+      hop = path.hop(flight.cursor);
+    } else {
+      if (at == flight.message.destination.rank()) {
+        deliver(flight);
+        return;
+      }
+      // Each site computes the greedy next hop itself — O(d k), no path
+      // field consulted.
+      const Word here = graph_.word(at);
+      hop = config_.orientation == Orientation::Directed
+                ? next_hop_unidirectional(here, flight.message.destination)
+                : next_hop_bidirectional(here, flight.message.destination);
+    }
+    digit = hop.is_wildcard() ? resolve_wildcard(at, hop.type, rng_)
+                              : hop.digit;
+    to = shift_target(at, hop.type, digit);
+    shift_label = hop.type == ShiftType::Left ? "L" : "R";
   }
-  const Digit digit = hop.is_wildcard()
-                          ? resolve_wildcard(at, hop.type, rng_)
-                          : hop.digit;
-  const std::uint64_t to = shift_target(at, hop.type, digit);
   ++flight.cursor;
   if (failed_links_.contains(at * graph_.vertex_count() + to)) {
     drop(flight_index, DropReason::Link, at);
@@ -353,8 +465,7 @@ void Simulator::arrive(std::size_t flight_index) {
   link.next_free = start + config_.link_delay;
   if (obs::tracing_enabled()) {
     sim_event("send", now_, at,
-              {obs::targ("to", to),
-               obs::targ("shift", hop.type == ShiftType::Left ? "L" : "R"),
+              {obs::targ("to", to), obs::targ("shift", shift_label),
                obs::targ("digit", static_cast<std::uint64_t>(digit)),
                obs::targ("queue", static_cast<std::uint64_t>(backlog))});
   }

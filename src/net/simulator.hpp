@@ -17,11 +17,14 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/layer_table.hpp"
 #include "debruijn/graph.hpp"
 #include "net/fault.hpp"
 #include "net/message.hpp"
@@ -40,6 +43,18 @@ enum class ForwardingMode {
   SourceRouted,  // the paper's scheme: consume the routing-path field
   HopByHop,      // each site computes the greedy next hop from the distance
                  // function (core/hop_by_hop.hpp); the path field is unused
+  Adaptive,      // deflection routing by distance layer (net/adaptive.hpp's
+                 // decision rule, in-network): Closer neighbors first,
+                 // Same-layer sideways as an escape, Farther-layer
+                 // deflection when faults kill everything else, TTL-bounded
+};
+
+/// Distance source for ForwardingMode::Adaptive decisions. Both make
+/// identical choices; they differ only in per-hop cost (the saturation
+/// benchmark's subject).
+enum class AdaptiveScoring {
+  Rescore,     // O(k) Theorem-2 distance per neighbor per hop
+  LayerTable,  // O(1) reads from a cached per-destination layer table
 };
 
 struct SimConfig {
@@ -50,15 +65,21 @@ struct SimConfig {
   std::size_t link_queue_capacity = std::numeric_limits<std::size_t>::max();
   WildcardPolicy wildcard_policy = WildcardPolicy::Zero;
   ForwardingMode forwarding = ForwardingMode::SourceRouted;
+  /// Adaptive forwarding only (ignored otherwise). Requires the undirected
+  /// orientation (the layer trichotomy needs the graph metric).
+  AdaptiveScoring adaptive_scoring = AdaptiveScoring::Rescore;
+  int adaptive_ttl = 0;          // 0 = max(4k, 8), as in net/adaptive.hpp
+  double adaptive_jitter = 0.0;  // sideways-move probability
   /// Record every (time, site) visit per message (traces() accessor);
   /// costs memory proportional to total hops.
   bool record_traces = false;
   std::uint64_t seed = 1;
 };
 
-/// Why the simulator discarded a message (the drop hook's taxonomy; the
-/// first three mirror the dropped_* counters of SimStats).
-enum class DropReason : std::uint8_t { Fault, Link, Overflow, Misdelivered };
+/// Why the simulator discarded a message (the drop hook's taxonomy; all
+/// but Misdelivered mirror the dropped_* counters of SimStats). Ttl only
+/// occurs under adaptive forwarding, whose walks are hop-bounded.
+enum class DropReason : std::uint8_t { Fault, Link, Overflow, Misdelivered, Ttl };
 
 const char* drop_reason_name(DropReason reason);
 
@@ -70,6 +91,8 @@ struct SimStats {
   std::uint64_t dropped_link = 0;      // sent across a failed link
   std::uint64_t dropped_overflow = 0;  // link queue over capacity
   std::uint64_t misdelivered = 0;      // path exhausted at a wrong site
+  std::uint64_t dropped_ttl = 0;       // adaptive walk exhausted its TTL
+  std::uint64_t adaptive_deflections = 0;  // Farther-layer moves taken
   std::uint64_t fault_events_applied = 0;  // schedule entries consumed
   std::uint64_t total_hops = 0;
   double total_latency = 0.0;
@@ -184,6 +207,12 @@ class Simulator {
     double injected_at = 0.0;
     std::size_t cursor = 0;  // hops consumed
     std::uint64_t at = 0;    // current site rank
+    std::uint64_t previous = 0;  // last site left (deflection avoidance);
+                                 // inject() resets it to the vertex-count
+                                 // sentinel meaning "no previous site"
+    /// Pinned destination layer table (Adaptive + LayerTable scoring only):
+    /// one cache interaction per message, O(1) reads per hop.
+    std::shared_ptr<const LayerTable::View> view;
   };
 
   struct Event {
@@ -210,6 +239,12 @@ class Simulator {
   void drop(std::size_t flight_index, DropReason reason, std::uint64_t at);
   Digit resolve_wildcard(std::uint64_t at, ShiftType type, Rng& rng);
   std::uint64_t shift_target(std::uint64_t at, ShiftType type, Digit digit) const;
+  /// The adaptive next hop from `at`, or nullopt when the walk is stuck
+  /// (every candidate neighbor is dead). Consumes rng_ draws; sets
+  /// `deflected` when the move retreats a layer.
+  std::optional<std::uint64_t> adaptive_next(InFlight& flight,
+                                             std::uint64_t at,
+                                             bool& deflected);
   void schedule(double time, std::size_t flight_index);
 
   SimConfig config_;
@@ -221,6 +256,8 @@ class Simulator {
   std::unordered_set<std::uint64_t> failed_links_;      // same keying
   FaultSchedule schedule_;
   std::size_t schedule_cursor_ = 0;
+  std::unique_ptr<LayerTable> layers_;  // Adaptive + LayerTable scoring
+  int adaptive_ttl_ = 0;                // resolved (floor applied)
   SimStats stats_;
   std::vector<Trace> traces_;
   Rng rng_;

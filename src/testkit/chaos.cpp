@@ -39,6 +39,36 @@ std::uint64_t pow_u64(std::uint64_t base, std::size_t exp) {
 
 }  // namespace
 
+std::string_view chaos_policy_name(ChaosPolicy policy) {
+  switch (policy) {
+    case ChaosPolicy::SourceRouted:
+      return "source";
+    case ChaosPolicy::Greedy:
+      return "greedy";
+    case ChaosPolicy::Deflect:
+      return "deflect";
+    case ChaosPolicy::Layer:
+      return "layer";
+  }
+  return "?";
+}
+
+std::optional<ChaosPolicy> chaos_policy_from_name(std::string_view name) {
+  if (name == "source") {
+    return ChaosPolicy::SourceRouted;
+  }
+  if (name == "greedy") {
+    return ChaosPolicy::Greedy;
+  }
+  if (name == "deflect") {
+    return ChaosPolicy::Deflect;
+  }
+  if (name == "layer") {
+    return ChaosPolicy::Layer;
+  }
+  return std::nullopt;
+}
+
 std::uint64_t ChaosScenario::vertex_count() const {
   return pow_u64(d, k);
 }
@@ -50,6 +80,11 @@ std::string ChaosScenario::to_text() const {
   out << "seed " << seed << "\n";
   out << "delay " << format_double(link_delay) << "\n";
   out << "cap " << queue_capacity << "\n";
+  if (policy != ChaosPolicy::SourceRouted) {
+    // Omitted when source-routed so pre-policy scenario files round-trip
+    // byte for byte.
+    out << "policy " << chaos_policy_name(policy) << "\n";
+  }
   out << "reliable " << format_double(reliable.timeout) << " "
       << reliable.max_attempts << " " << format_double(reliable.backoff) << " "
       << format_double(reliable.jitter) << " "
@@ -114,6 +149,12 @@ ChaosScenario ChaosScenario::parse(std::string_view text) {
       need(s.link_delay);
     } else if (tag == "cap") {
       need(s.queue_capacity);
+    } else if (tag == "policy") {
+      std::string name;
+      need(name);
+      const std::optional<ChaosPolicy> policy = chaos_policy_from_name(name);
+      DBN_REQUIRE(policy.has_value(), "unknown chaos policy: " + name);
+      s.policy = *policy;
     } else if (tag == "reliable") {
       need(s.reliable.timeout, s.reliable.max_attempts, s.reliable.backoff,
            s.reliable.jitter, s.reliable.max_timeout, s.reliable.jitter_seed);
@@ -179,8 +220,14 @@ double clock_budget(const ChaosScenario& s) {
   const double messages =
       static_cast<double>(s.transfers.size()) * rc.max_attempts;
   // Any routed path visits each site at most once => <= n hops; every hop
-  // can wait behind every other transmission on a FIFO link.
-  const double hops = n;
+  // can wait behind every other transmission on a FIFO link. Adaptive
+  // walks revisit sites but are TTL-bounded, and the max(4k, 8) floor can
+  // exceed n on tiny networks, so the bound is the larger of the two.
+  double hops = n;
+  if (s.policy == ChaosPolicy::Deflect || s.policy == ChaosPolicy::Layer) {
+    hops = std::max(
+        hops, static_cast<double>(std::max(4 * static_cast<int>(s.k), 8)));
+  }
   const double drain = hops * (messages * hops + 1.0) * s.link_delay;
   return windows + drain + 1.0;
 }
@@ -213,6 +260,22 @@ ChaosRunResult run_scenario(const ChaosScenario& scenario) {
                                    ? std::numeric_limits<std::size_t>::max()
                                    : scenario.queue_capacity;
   config.wildcard_policy = net::WildcardPolicy::Zero;
+  switch (scenario.policy) {
+    case ChaosPolicy::SourceRouted:
+      config.forwarding = net::ForwardingMode::SourceRouted;
+      break;
+    case ChaosPolicy::Greedy:
+      config.forwarding = net::ForwardingMode::HopByHop;
+      break;
+    case ChaosPolicy::Deflect:
+      config.forwarding = net::ForwardingMode::Adaptive;
+      config.adaptive_scoring = net::AdaptiveScoring::Rescore;
+      break;
+    case ChaosPolicy::Layer:
+      config.forwarding = net::ForwardingMode::Adaptive;
+      config.adaptive_scoring = net::AdaptiveScoring::LayerTable;
+      break;
+  }
   config.seed = scenario.seed;
   net::Simulator sim(config);
   sim.set_fault_schedule(scenario.schedule);
@@ -278,10 +341,17 @@ ChaosRunResult run_scenario(const ChaosScenario& scenario) {
   check(result.violations,
         stats.injected == stats.delivered + stats.dropped_fault +
                               stats.dropped_link + stats.dropped_overflow +
-                              stats.misdelivered,
+                              stats.misdelivered + stats.dropped_ttl,
         "conservation: injected != sum of outcomes");
   check(result.violations, stats.misdelivered == 0,
-        "conservation: misdelivered source-routed message");
+        "conservation: misdelivered message (no policy may misdeliver)");
+  check(result.violations,
+        scenario.policy == ChaosPolicy::Deflect ||
+            scenario.policy == ChaosPolicy::Layer || stats.dropped_ttl == 0,
+        "policy: TTL drops under a non-adaptive forwarding policy");
+  check(result.violations,
+        scenario.queue_capacity != 0 || stats.dropped_overflow == 0,
+        "capacity: overflow drops despite unlimited link queues");
   check(result.violations, report.traces.size() == scenario.transfers.size(),
         "traces: one trace per transfer");
   for (std::size_t id = 0; id < report.traces.size(); ++id) {
@@ -363,7 +433,8 @@ std::string run_summary(const ChaosRunResult& result) {
       << " clock=" << format_double(result.final_clock)
       << " injected=" << s.injected << " delivered=" << s.delivered
       << " dfault=" << s.dropped_fault << " dlink=" << s.dropped_link
-      << " dover=" << s.dropped_overflow << " hops=" << s.total_hops
+      << " dover=" << s.dropped_overflow << " dttl=" << s.dropped_ttl
+      << " defl=" << s.adaptive_deflections << " hops=" << s.total_hops
       << " faults=" << s.fault_events_applied
       << " violations=" << result.violations.size();
   return out.str();
@@ -398,6 +469,28 @@ ChaosScenario random_scenario(Rng& rng) {
   s.seed = rng();
   s.link_delay = std::vector<double>{0.5, 1.0, 2.0}[rng.below(3)];
   s.queue_capacity = rng.chance(0.4) ? 1 + rng.below(4) : 0;
+  // Source-routed keeps the majority share (it exercises the paper's
+  // forwarding machinery plus misdelivery accounting); the remainder
+  // splits across greedy hop-by-hop and both adaptive scorings so the
+  // fuzzer owns the deflection space too.
+  switch (rng.below(8)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      s.policy = ChaosPolicy::SourceRouted;
+      break;
+    case 4:
+      s.policy = ChaosPolicy::Greedy;
+      break;
+    case 5:
+    case 6:
+      s.policy = ChaosPolicy::Deflect;
+      break;
+    default:
+      s.policy = ChaosPolicy::Layer;
+      break;
+  }
   s.reliable.timeout = static_cast<double>(4 + rng.below(61));
   s.reliable.max_attempts = 1 + static_cast<int>(rng.below(6));
   s.reliable.backoff = std::vector<double>{1.0, 1.5, 2.0}[rng.below(3)];
@@ -539,6 +632,11 @@ std::vector<ChaosScenario> shrink_candidates(const ChaosScenario& s) {
     c.seed = 1;
     out.push_back(std::move(c));
   }
+  if (s.policy != ChaosPolicy::SourceRouted) {
+    ChaosScenario c = s;
+    c.policy = ChaosPolicy::SourceRouted;
+    out.push_back(std::move(c));
+  }
   // 5. Shrink the network; ranks are remapped modulo the new size.
   const auto resize = [&](std::uint32_t d, std::size_t k) {
     ChaosScenario c = s;
@@ -612,7 +710,10 @@ ChaosFuzzReport run_chaos_fuzz(const ChaosFuzzOptions& options) {
     // Per-iteration substream: iteration i always sees the same scenario,
     // no matter how earlier iterations consumed randomness.
     Rng rng = root.fork(iter);
-    const ChaosScenario scenario = random_scenario(rng);
+    ChaosScenario scenario = random_scenario(rng);
+    if (options.policy.has_value()) {
+      scenario.policy = *options.policy;
+    }
     ++report.iterations_run;
     ++coverage["d=" + std::to_string(scenario.d) +
                ",k=" + std::to_string(scenario.k)];
@@ -672,10 +773,14 @@ std::vector<std::string> list_chaos_files(const std::string& dir) {
 }
 
 std::vector<std::string> replay_chaos_files(
-    const std::vector<std::string>& files, std::ostream* log) {
+    const std::vector<std::string>& files, std::ostream* log,
+    std::optional<ChaosPolicy> policy_override) {
   std::vector<std::string> failures;
   for (const std::string& file : files) {
-    const ChaosScenario scenario = load_chaos_file(file);
+    ChaosScenario scenario = load_chaos_file(file);
+    if (policy_override.has_value()) {
+      scenario.policy = *policy_override;
+    }
     const ChaosRunResult result = run_deterministically(scenario);
     if (log != nullptr) {
       *log << file << ": " << run_summary(result) << "\n";

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -36,6 +37,21 @@
 
 namespace dbn::testkit {
 
+/// How the simulated network forwards a scenario's messages. SourceRouted
+/// is the paper's scheme (and the historical chaos default); Greedy is
+/// fault-oblivious hop-by-hop; Deflect and Layer are the adaptive
+/// deflection policy of net/adaptive.hpp, scored by per-neighbor
+/// re-computation and by the O(1) layer table respectively — identical
+/// decisions, so any behavioral divergence between them is a bug the
+/// determinism invariant catches.
+enum class ChaosPolicy : std::uint8_t { SourceRouted, Greedy, Deflect, Layer };
+
+/// Serialized name ("source", "greedy", "deflect", "layer").
+std::string_view chaos_policy_name(ChaosPolicy policy);
+
+/// Inverse of chaos_policy_name; nullopt for unknown names.
+std::optional<ChaosPolicy> chaos_policy_from_name(std::string_view name);
+
 /// A self-contained failure scenario. Serialized as the line-based
 /// ".chaos" text format (see to_text / parse and docs/fault_injection.md).
 struct ChaosScenario {
@@ -44,6 +60,7 @@ struct ChaosScenario {
   std::uint64_t seed = 1;          // simulator seed
   double link_delay = 1.0;
   std::size_t queue_capacity = 0;  // 0 = unlimited
+  ChaosPolicy policy = ChaosPolicy::SourceRouted;
   net::ReliableConfig reliable;    // callbacks/record_attempts not serialized
   std::vector<net::Transfer> transfers;
   net::FaultSchedule schedule;
@@ -113,6 +130,9 @@ struct ChaosFuzzOptions {
   bool shrink = true;
   std::size_t max_failures = 8;
   std::ostream* log = nullptr;  // progress / failure log; nullptr = silent
+  /// Pin every sampled scenario to one forwarding policy (dbn_chaos
+  /// --policy); nullopt lets random_scenario mix them.
+  std::optional<ChaosPolicy> policy;
 };
 
 struct ChaosFailure {
@@ -144,8 +164,10 @@ ChaosScenario load_chaos_file(const std::string& path);
 std::vector<std::string> list_chaos_files(const std::string& dir);
 
 /// Replays every file; returns "<file>: <violation>" strings (empty when
-/// all scenarios hold every invariant, determinism included).
+/// all scenarios hold every invariant, determinism included). A policy
+/// override replaces each file's forwarding policy before the run.
 std::vector<std::string> replay_chaos_files(
-    const std::vector<std::string>& files, std::ostream* log = nullptr);
+    const std::vector<std::string>& files, std::ostream* log = nullptr,
+    std::optional<ChaosPolicy> policy_override = std::nullopt);
 
 }  // namespace dbn::testkit

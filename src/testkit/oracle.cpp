@@ -8,6 +8,7 @@
 #include "core/bfs_router.hpp"
 #include "core/distance.hpp"
 #include "core/hop_by_hop.hpp"
+#include "core/layer_table.hpp"
 #include "core/route_engine.hpp"
 #include "core/routers.hpp"
 #include "core/routing_table.hpp"
@@ -200,6 +201,32 @@ class RoutingTableOracle final : public RouteOracle {
   RoutingTable table_;
 };
 
+// Distance-only oracle over the dense per-destination layer tables
+// (core/layer_table.hpp): the adaptive router's O(1) progress signal gets
+// the same pairwise differential pressure as every routing algorithm —
+// one wrong table byte shows up as a distance mismatch here, not just as
+// a subtly worse deflection choice under saturation.
+class LayerTableOracle final : public RouteOracle {
+ public:
+  explicit LayerTableOracle(const DeBruijnGraph& graph)
+      : name_(graph.orientation() == Orientation::Directed
+                  ? "layer-table-uni"
+                  : "layer-table-bi"),
+        table_(graph) {}
+  explicit LayerTableOracle(const KautzGraph& graph)
+      : name_("kautz-layer-table"), table_(graph), kautz_(&graph) {}
+  std::string_view name() const override { return name_; }
+  int distance(const Word& x, const Word& y) override {
+    return table_.view(y)->distance(kautz_ != nullptr ? kautz_->rank(x)
+                                                      : x.rank());
+  }
+
+ private:
+  std::string_view name_;
+  LayerTable table_;
+  const KautzGraph* kautz_ = nullptr;  // non-null iff the Kautz family
+};
+
 // --- Kautz oracles --------------------------------------------------------
 
 std::vector<int> kautz_bfs_distances(const KautzGraph& graph,
@@ -309,6 +336,9 @@ OracleSet OracleSet::debruijn(std::uint32_t d, std::size_t k,
   if (options.max_table_vertices > 0 && set.n_ <= options.max_table_vertices) {
     set.oracles_.push_back(std::make_unique<RoutingTableOracle>(*set.graph_));
   }
+  if (options.max_layer_vertices > 0 && set.n_ <= options.max_layer_vertices) {
+    set.oracles_.push_back(std::make_unique<LayerTableOracle>(*set.graph_));
+  }
   return set;
 }
 
@@ -321,6 +351,9 @@ OracleSet OracleSet::kautz(std::uint32_t d, std::size_t k,
   if (options.max_bfs_vertices > 0 && set.n_ <= options.max_bfs_vertices) {
     set.oracles_.push_back(std::make_unique<KautzBfsOracle>(*set.kautz_));
     set.has_bfs_reference_ = true;
+  }
+  if (options.max_layer_vertices > 0 && set.n_ <= options.max_layer_vertices) {
+    set.oracles_.push_back(std::make_unique<LayerTableOracle>(*set.kautz_));
   }
   return set;
 }

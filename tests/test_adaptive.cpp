@@ -171,6 +171,88 @@ TEST(Adaptive, DeflectionDominatesGreedyGiveUp) {
       << "7 faults in DN(2,6) must strand greedy somewhere deflection saves";
 }
 
+TEST(Adaptive, LayerTableScoringIsDecisionIdentical) {
+  // The layer-table rewrite must not change a single decision: walks under
+  // both scorings from the same RNG state are bit-identical — same
+  // outcome, same move mix, and the same number of draws consumed (checked
+  // by comparing the next draw of both streams afterwards). Fault-free and
+  // single-fault scenarios, with jitter so the sideways draw is exercised.
+  const DeBruijnGraph g(2, 6, Orientation::Undirected);
+  LayerTable layers(g);
+  DBN_SEEDED_RNG(rng, 72);
+  for (const int faults : {0, 1}) {
+    for (int trial = 0; trial < 150; ++trial) {
+      const auto failed = random_fault_set(g, faults, rng);
+      const std::uint64_t xr = rng.below(g.vertex_count());
+      const std::uint64_t yr = rng.below(g.vertex_count());
+      if (failed[xr] || failed[yr]) {
+        continue;
+      }
+      const std::uint64_t seed = rng();
+      AdaptiveConfig rescore;
+      rescore.jitter = 0.25;
+      AdaptiveConfig tabled = rescore;
+      tabled.layers = &layers;
+      Rng ra(seed);
+      Rng rb(seed);
+      const AdaptiveResult a =
+          adaptive_route(g, failed, g.word(xr), g.word(yr), ra, rescore);
+      const AdaptiveResult b =
+          adaptive_route(g, failed, g.word(xr), g.word(yr), rb, tabled);
+      ASSERT_EQ(a.delivered, b.delivered) << "x=" << xr << " y=" << yr;
+      ASSERT_EQ(a.hops, b.hops);
+      ASSERT_EQ(a.sideways_moves, b.sideways_moves);
+      ASSERT_EQ(a.deflections, b.deflections);
+      ASSERT_EQ(ra(), rb()) << "scorings consumed different draw counts";
+    }
+  }
+}
+
+TEST(Adaptive, LayerTableScoringIsIdenticalOnDegenerateNetworks) {
+  // The d = 1 and k = 1 corners again, this time as a scoring-equivalence
+  // property (the layer table's byte layout degenerates differently in
+  // each: single-vertex tables vs diameter-1 complete graphs).
+  DBN_SEEDED_RNG(rng, 73);
+  for (const auto& p : testing::degenerate_grid()) {
+    const DeBruijnGraph g(p.d, p.k, Orientation::Undirected);
+    LayerTable layers(g);
+    const std::vector<bool> none(g.vertex_count(), false);
+    for (int trial = 0; trial < 20; ++trial) {
+      const std::uint64_t xr = rng.below(g.vertex_count());
+      const std::uint64_t yr = rng.below(g.vertex_count());
+      const std::uint64_t seed = rng();
+      AdaptiveConfig rescore;
+      rescore.jitter = 0.5;
+      AdaptiveConfig tabled = rescore;
+      tabled.layers = &layers;
+      Rng ra(seed);
+      Rng rb(seed);
+      const AdaptiveResult a =
+          adaptive_route(g, none, g.word(xr), g.word(yr), ra, rescore);
+      const AdaptiveResult b =
+          adaptive_route(g, none, g.word(xr), g.word(yr), rb, tabled);
+      ASSERT_EQ(a.delivered, b.delivered) << p;
+      ASSERT_EQ(a.hops, b.hops) << p;
+      ASSERT_EQ(a.sideways_moves, b.sideways_moves) << p;
+      ASSERT_EQ(a.deflections, b.deflections) << p;
+      ASSERT_EQ(ra(), rb()) << p;
+    }
+  }
+}
+
+TEST(Adaptive, RejectsMismatchedLayerTable) {
+  const DeBruijnGraph g(2, 4, Orientation::Undirected);
+  const DeBruijnGraph other(2, 5, Orientation::Undirected);
+  LayerTable layers(other);
+  const std::vector<bool> none(g.vertex_count(), false);
+  Rng rng(26);
+  AdaptiveConfig config;
+  config.layers = &layers;
+  EXPECT_THROW(adaptive_route(g, none, Word::zero(2, 4),
+                              Word(2, {1, 0, 0, 1}), rng, config),
+               ContractViolation);
+}
+
 TEST(Adaptive, RejectsBadUsage) {
   const DeBruijnGraph und(2, 4, Orientation::Undirected);
   const DeBruijnGraph dir(2, 4, Orientation::Directed);

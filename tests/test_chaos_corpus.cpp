@@ -16,8 +16,9 @@ std::string corpus_dir() { return std::string(DBN_CORPUS_DIR) + "/chaos"; }
 
 TEST(ChaosCorpus, SeedScenariosArePresent) {
   const std::vector<std::string> files = list_chaos_files(corpus_dir());
-  EXPECT_GE(files.size(), 3u)
-      << "the fault-cluster, link-flap and partition seeds must exist";
+  EXPECT_GE(files.size(), 5u)
+      << "the fault-cluster, link-flap, partition, saturation-overload and "
+         "layer-partition seeds must exist";
 }
 
 TEST(ChaosCorpus, EveryScenarioRoundTripsThroughTheTextFormat) {
@@ -56,6 +57,55 @@ TEST(ChaosCorpus, ScenariosExerciseDistinctFailureModes) {
   }
   EXPECT_TRUE(saw_abandonment);
   EXPECT_TRUE(saw_full_recovery);
+}
+
+TEST(ChaosCorpus, SaturationSeedsExerciseTheAdaptivePolicies) {
+  // The two saturation seeds must keep producing the failure modes they
+  // were written for — if a simulator change makes the overload scenario
+  // stop overflowing (or the layer partition stop burning TTL), the
+  // scenario has silently gone stale and no longer guards anything.
+  bool saw_overflow_under_deflect = false;
+  bool saw_ttl_under_layer = false;
+  for (const std::string& file : list_chaos_files(corpus_dir())) {
+    const ChaosScenario scenario = load_chaos_file(file);
+    if (scenario.policy == ChaosPolicy::SourceRouted) {
+      continue;
+    }
+    SCOPED_TRACE(file);
+    const ChaosRunResult result = run_deterministically(scenario);
+    ASSERT_TRUE(result.ok()) << file;
+    if (scenario.policy == ChaosPolicy::Deflect &&
+        scenario.queue_capacity > 0) {
+      saw_overflow_under_deflect = saw_overflow_under_deflect ||
+                                   result.stats.dropped_overflow > 0;
+    }
+    if (scenario.policy == ChaosPolicy::Layer) {
+      saw_ttl_under_layer =
+          saw_ttl_under_layer || result.stats.dropped_ttl > 0;
+    }
+  }
+  EXPECT_TRUE(saw_overflow_under_deflect)
+      << "saturation_overload.chaos must shed load as overflow drops";
+  EXPECT_TRUE(saw_ttl_under_layer)
+      << "layer_partition.chaos must exhaust adaptive TTLs";
+}
+
+TEST(ChaosCorpus, PolicyOverrideReplaysTheCorpusUnderEveryPolicy) {
+  // Any scenario must hold every invariant under any forwarding policy —
+  // the override is how CI sweeps old seeds through new policies without
+  // duplicating files.
+  const std::vector<std::string> files = list_chaos_files(corpus_dir());
+  for (const ChaosPolicy policy :
+       {ChaosPolicy::Greedy, ChaosPolicy::Deflect, ChaosPolicy::Layer}) {
+    SCOPED_TRACE(chaos_policy_name(policy));
+    const std::vector<std::string> violations =
+        replay_chaos_files(files, nullptr, policy);
+    std::string joined;
+    for (const std::string& v : violations) {
+      joined += v + "\n";
+    }
+    EXPECT_TRUE(violations.empty()) << joined;
+  }
 }
 
 }  // namespace

@@ -12,6 +12,9 @@
 //                     branches active.
 //   BatchRouteEngine  memo-cache sharding under parallel workers, plus
 //                     concurrent independent engines.
+//   LayerTable        sharded view cache under colliding destination
+//                     traffic, pinned views read across evictions, and
+//                     adaptive walks sharing one table.
 //   RouteServer       concurrent client feeds racing the dispatcher, a
 //                     stats/queue-depth poller, and a mid-flight drain.
 //
@@ -31,7 +34,10 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/batch_route_engine.hpp"
+#include "core/distance.hpp"
+#include "core/layer_table.hpp"
 #include "core/route_engine.hpp"
+#include "net/adaptive.hpp"
 #include "debruijn/word.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -395,6 +401,87 @@ TEST(ConcurrencyStressBatch, IndependentEnginesShareGlobalMetricsSafely) {
   for (auto& t : drivers) {
     t.join();
   }
+}
+
+// --- LayerTable -------------------------------------------------------------
+
+TEST(ConcurrencyStressLayerTable, ShardedViewCacheUnderCollidingDestinations) {
+  const DeBruijnGraph g(2, 8, Orientation::Undirected);
+  LayerTableOptions options;
+  options.cache_destinations = 8;  // tiny: builds, hits and evictions race
+  options.cache_shards = 2;
+  LayerTable table(g, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 900);
+      for (int round = 0; round < kRounds; ++round) {
+        // A small destination set maximizes slot contention; a pinned view
+        // must stay internally consistent however many times its slot is
+        // overwritten behind it.
+        const std::uint64_t yr = rng.below(16);
+        const auto view = table.view(g.word(yr));
+        ASSERT_EQ(view->destination(), yr);
+        ASSERT_EQ(view->distance(yr), 0);
+        const std::uint64_t xr = rng.below(g.vertex_count());
+        const int here = view->distance(xr);
+        for (const std::uint64_t nr : g.neighbors(xr)) {
+          const int there = view->distance(nr);
+          ASSERT_LE(there, here + 1);
+          ASSERT_GE(there, here - 1);
+          (void)view->classify(xr, nr);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const LayerTableStats stats = table.stats();
+  EXPECT_EQ(stats.lookups, static_cast<std::size_t>(kThreads) * kRounds);
+  EXPECT_GE(stats.builds, 16u);
+  EXPECT_EQ(stats.builds + stats.hits, stats.lookups);
+}
+
+TEST(ConcurrencyStressLayerTable, AdaptiveWalksShareOneTable) {
+  // The simulator hands one LayerTable to every in-flight walk; racing
+  // whole walks (view pinning + classification under faults) is the
+  // production access pattern.
+  const DeBruijnGraph g(2, 7, Orientation::Undirected);
+  LayerTable table(g);
+  std::vector<bool> failed(g.vertex_count(), false);
+  failed[3] = failed[17] = failed[64] = true;
+  constexpr int kThreads = 3;
+  std::vector<std::thread> walkers;
+  walkers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    walkers.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1200);
+      net::AdaptiveConfig config;
+      config.jitter = 0.1;
+      config.layers = &table;
+      for (int trial = 0; trial < 150; ++trial) {
+        const std::uint64_t xr = rng.below(g.vertex_count());
+        const std::uint64_t yr = rng.below(g.vertex_count());
+        if (failed[xr] || failed[yr]) {
+          continue;
+        }
+        const net::AdaptiveResult r =
+            adaptive_route(g, failed, g.word(xr), g.word(yr), rng, config);
+        if (r.delivered && r.deflections == 0 && r.sideways_moves == 0) {
+          ASSERT_EQ(r.hops, undirected_distance(g.word(xr), g.word(yr)));
+        }
+      }
+    });
+  }
+  for (auto& w : walkers) {
+    w.join();
+  }
+  EXPECT_GT(table.stats().hits, 0u);
 }
 
 // --- RouteServer ------------------------------------------------------------

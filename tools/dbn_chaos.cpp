@@ -3,7 +3,9 @@
 //
 //   dbn_chaos [--seed N] [--iters N] [--time-budget SEC] [--no-shrink]
 //             [--max-failures N] [--failure-dir DIR] [--quiet]
+//             [--policy source|greedy|deflect|layer]
 //   dbn_chaos --replay <scenario.chaos | directory>
+//             [--policy source|greedy|deflect|layer]
 //
 // Flags accept both "--flag value" and "--flag=value". Both modes accept
 // --trace-out FILE (simulator send/deliver/drop/fault events plus the
@@ -43,7 +45,9 @@ void usage(std::ostream& out) {
          "[--no-shrink]\n"
          "            [--max-failures N] [--failure-dir DIR] [--quiet]\n"
          "  dbn_chaos --replay <scenario.chaos | directory>\n"
-         "both modes accept --trace-out FILE and --metrics-out FILE\n";
+         "both modes accept --trace-out FILE, --metrics-out FILE and\n"
+         "--policy source|greedy|deflect|layer (pins the forwarding policy\n"
+         "of every fuzzed scenario / overrides it on replay)\n";
 }
 
 struct ParsedArgs {
@@ -151,6 +155,17 @@ ParsedArgs parse_args(int argc, char** argv) {
       } else {
         parsed.metrics_out = *text;
       }
+    } else if (arg == "--policy") {
+      const auto text = take_value(i);
+      const auto policy =
+          text ? testkit::chaos_policy_from_name(*text) : std::nullopt;
+      if (!policy) {
+        std::cerr << "dbn_chaos: --policy needs one of "
+                     "source|greedy|deflect|layer\n";
+        parsed.ok = false;
+      } else {
+        parsed.fuzz.policy = policy;
+      }
     } else if (arg == "--no-shrink") {
       parsed.fuzz.shrink = false;
     } else if (arg == "--quiet") {
@@ -184,7 +199,8 @@ int run_replays(const ParsedArgs& parsed) {
       std::cerr << "dbn_chaos: no such file or directory: " << target << "\n";
       return 2;
     }
-    const auto file_failures = testkit::replay_chaos_files(files, log);
+    const auto file_failures =
+        testkit::replay_chaos_files(files, log, parsed.fuzz.policy);
     failures.insert(failures.end(), file_failures.begin(),
                     file_failures.end());
   }

@@ -6,7 +6,8 @@
 //   dbn export-dot <d> <k> [--directed] [--ranks]
 //   dbn stats <d> <k>
 //   dbn broadcast <d> <k> <root> [--single-port]
-//   dbn simulate <d> <k> [--rate=R] [--duration=T] [--policy=zero|random|lq]
+//   dbn simulate <d> <k> [--rate=R] [--duration=T]
+//                [--policy=zero|random|lq|greedy|deflect|layer]
 //   dbn serve <d> <k> [--stdio | --port=N] [--port-file=PATH] [--backend=...]
 //
 // Every command also accepts --trace-out=FILE (route spans / simulator
@@ -60,8 +61,8 @@ void usage(std::ostream& out) {
          "  dbn broadcast <d> <k> <root> [--single-port]\n"
          "  dbn sequence <d> <n> [--method=fkm|euler|greedy]\n"
          "  dbn kautz <d> <k> [<X> <Y>]\n"
-         "  dbn simulate <d> <k> [--rate=R] [--duration=T] "
-         "[--policy=zero|random|lq]\n"
+         "  dbn simulate <d> <k> [--rate=R] [--duration=T]\n"
+         "               [--policy=zero|random|lq|greedy|deflect|layer]\n"
          "  dbn serve <d> <k> [--stdio | --port=N] [--port-file=PATH]\n"
          "            [--backend=uni|bidi|st|table] [--threads=N] "
          "[--queue=N]\n"
@@ -284,9 +285,24 @@ int cmd_simulate(std::uint32_t d, std::size_t k,
   net::SimConfig config;
   config.radix = d;
   config.k = k;
-  config.wildcard_policy = policy == "zero" ? net::WildcardPolicy::Zero
-                           : policy == "lq" ? net::WildcardPolicy::LeastQueue
-                                            : net::WildcardPolicy::Random;
+  // zero|random|lq pick the wildcard policy of the paper's source-routed
+  // scheme; greedy|deflect|layer switch the forwarding mode itself.
+  if (policy == "greedy") {
+    config.forwarding = net::ForwardingMode::HopByHop;
+  } else if (policy == "deflect" || policy == "layer") {
+    config.forwarding = net::ForwardingMode::Adaptive;
+    config.adaptive_scoring = policy == "layer"
+                                  ? net::AdaptiveScoring::LayerTable
+                                  : net::AdaptiveScoring::Rescore;
+  } else if (policy == "zero" || policy == "random" || policy == "lq") {
+    config.wildcard_policy = policy == "zero" ? net::WildcardPolicy::Zero
+                             : policy == "lq" ? net::WildcardPolicy::LeastQueue
+                                              : net::WildcardPolicy::Random;
+  } else {
+    std::cerr << "unknown policy: " << policy
+              << " (zero|random|lq|greedy|deflect|layer)\n";
+    return 1;
+  }
   net::Simulator sim(config);
   Rng rng(42);
   for (const net::Injection& inj :
