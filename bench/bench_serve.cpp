@@ -14,7 +14,15 @@
 // scripts/bench_report.py computes from the two rows' items_per_second
 // and gates at record time (--max-serve-overhead).
 //
-// Both pin the engine to one worker thread so the ratio compares the
+// BM_ServeObserved is BM_ServeSteadyState with the observability plane
+// switched on the way the CI serve smoke runs it: 1-in-64 deterministic
+// request tracing into a discard sink, the slow-request log armed, and a
+// MetricsTimeline sampling the registry in the background. Its ratio to
+// BM_ServeSteadyState is derived/serve_obs_overhead, gated at record time
+// (--max-serve-obs-overhead) so the probe/tracing path cannot quietly tax
+// the serving fast path.
+//
+// All pin the engine to one worker thread so the ratios compare the
 // serving machinery, not the runner's core count.
 #include <benchmark/benchmark.h>
 
@@ -32,6 +40,8 @@
 #include "common/rng.hpp"
 #include "core/batch_route_engine.hpp"
 #include "debruijn/word.hpp"
+#include "obs/live.hpp"
+#include "obs/trace.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -72,13 +82,18 @@ std::uint64_t percentile_us(std::vector<std::uint64_t>& sorted, double p) {
   return sorted[static_cast<std::size_t>(rank + 0.5)];
 }
 
-void BM_ServeSteadyState(benchmark::State& state) {
+serve::ServeConfig steady_config() {
   serve::ServeConfig config;
   config.d = kD;
   config.k = kK;
   config.threads = 1;
   config.queue_capacity = 1u << 15;  // never shed: every answer is Ok
   config.max_batch = kWindow;
+  return config;
+}
+
+void run_steady_state(benchmark::State& state,
+                      const serve::ServeConfig& config) {
   serve::RouteServer server(config);
 
   const std::vector<RouteQuery> pairs = query_stream();
@@ -153,7 +168,39 @@ void BM_ServeSteadyState(benchmark::State& state) {
       static_cast<double>(percentile_us(latencies, 99));
   state.counters["window"] = static_cast<double>(kWindow);
 }
+
+void BM_ServeSteadyState(benchmark::State& state) {
+  run_steady_state(state, steady_config());
+}
 BENCHMARK(BM_ServeSteadyState)->UseRealTime();
+
+/// Accepts every event and throws it away — charges the serving path for
+/// producing trace events without billing any export format.
+class DiscardSink : public obs::TraceSink {
+ public:
+  void emit(const obs::TraceEvent& event) override {
+    benchmark::DoNotOptimize(&event);
+  }
+};
+
+void BM_ServeObserved(benchmark::State& state) {
+  serve::ServeConfig config = steady_config();
+  config.trace_sample = 64;  // the CI smoke's sampling rate
+  config.trace_seed = 2026;
+  config.slow_us = 1e6;  // armed but quiet: charge the check, not the log
+  DiscardSink sink;
+  obs::set_trace_sink(&sink);
+  obs::MetricsTimelineOptions timeline_options;
+  timeline_options.interval = std::chrono::milliseconds(50);
+  obs::MetricsTimeline timeline(timeline_options);
+  timeline.start();
+  run_steady_state(state, config);
+  timeline.stop();
+  obs::set_trace_sink(nullptr);
+  state.counters["timeline_samples"] =
+      static_cast<double>(timeline.sample_count());
+}
+BENCHMARK(BM_ServeObserved)->UseRealTime();
 
 void BM_ServeEngineOnly(benchmark::State& state) {
   BatchRouteOptions options;

@@ -22,7 +22,12 @@ Two subcommands:
            When the bench_serve pair (BM_ServeSteadyState sustained QPS +
            p50/p99 latency counters, BM_ServeEngineOnly denominator) is
            recorded, a derived serve-overhead ratio is appended and
-           --max-serve-overhead R gates it at record time too. When the
+           --max-serve-overhead R gates it at record time too; with
+           BM_ServeObserved also present (the same stack with sampled
+           tracing, the slow log, and a metrics timeline running), a
+           derived serve_obs_overhead ratio is appended and
+           --max-serve-obs-overhead R gates what the observability plane
+           costs the serving fast path (CI uses 1.15). When the
            bench_saturation pair (BM_LayerTableClassify O(1) layer reads,
            BM_DeflectionRescore O(k) re-scoring, same decision stream) is
            recorded, a derived deflection-cost ratio is appended and
@@ -184,6 +189,40 @@ def derive_serve_overhead(rows):
     return ratio
 
 
+def derive_serve_obs_overhead(rows):
+    """Appends the derived observability-overhead row; returns the ratio.
+
+    Compares the two bench_serve steady-state rows by items/second:
+      BM_ServeSteadyState    the serving stack, observability dark
+      BM_ServeObserved       the identical stack with the CI smoke's
+                             observability plane on: 1-in-64 sampled
+                             request tracing into a discard sink, the slow
+                             log armed, and a MetricsTimeline sampling in
+                             the background
+    The ratio is what turning the lights on costs the serving fast path.
+    Returns None when either row is absent.
+    """
+    def find(suffix):
+        for row in rows:
+            if row["name"].endswith(suffix):
+                return row.get("items_per_second") or None
+        return None
+
+    dark = find("/BM_ServeSteadyState/real_time")
+    observed = find("/BM_ServeObserved/real_time")
+    if dark is None or observed is None:
+        return None
+    ratio = dark / observed
+    rows.append({
+        "name": "derived/serve_obs_overhead",
+        "backend": "derived",
+        "threads": 1,
+        "best_ns_per_query": ratio,  # a ratio, not a timing
+        "note": "BM_ServeSteadyState / BM_ServeObserved items/s (same run)",
+    })
+    return ratio
+
+
 def derive_deflection_cost(rows):
     """Appends the derived deflection-cost row; returns the ratio.
 
@@ -289,6 +328,7 @@ def cmd_record(args):
     disabled_overhead = derive_tracing_overhead(report["results"])
     bidi_vs_alg1 = derive_bidi_vs_alg1(report["results"])
     serve_overhead = derive_serve_overhead(report["results"])
+    serve_obs_overhead = derive_serve_obs_overhead(report["results"])
     deflection_cost = derive_deflection_cost(report["results"])
     report["schema"] = SCHEMA
     report["generated_by"] = "scripts/bench_report.py"
@@ -340,6 +380,20 @@ def cmd_record(args):
     elif args.max_serve_overhead > 0:
         print("bench_report: FAIL --max-serve-overhead set but the "
               "BM_ServeSteadyState/BM_ServeEngineOnly pair was not "
+              "recorded (add --gbench bench_serve)")
+        return 1
+    if serve_obs_overhead is not None:
+        print(f"bench_report: serve observability overhead "
+              f"{serve_obs_overhead:.3f}x")
+        if args.max_serve_obs_overhead > 0 and \
+                serve_obs_overhead > args.max_serve_obs_overhead:
+            print(f"bench_report: FAIL the observability plane costs "
+                  f"{serve_obs_overhead:.3f}x the dark serving stack > "
+                  f"allowed {args.max_serve_obs_overhead:.2f}x")
+            return 1
+    elif args.max_serve_obs_overhead > 0:
+        print("bench_report: FAIL --max-serve-obs-overhead set but the "
+              "BM_ServeSteadyState/BM_ServeObserved pair was not "
               "recorded (add --gbench bench_serve)")
         return 1
     if deflection_cost is not None:
@@ -438,6 +492,11 @@ def main():
                      help="fail when the serving stack sustains fewer than "
                           "1/R of the bare engine's items/s at the same "
                           "configuration (0 = no gate; CI uses 8.0)")
+    rec.add_argument("--max-serve-obs-overhead", type=float, default=0.0,
+                     help="fail when the serving stack with sampled "
+                          "tracing + metrics timeline enabled sustains "
+                          "fewer than 1/R of its own untraced items/s "
+                          "(0 = no gate; CI uses 1.15)")
     rec.add_argument("--max-deflection-cost", type=float, default=0.0,
                      help="fail when an O(1) layer-table deflection "
                           "decision costs more than this ratio of the O(k) "

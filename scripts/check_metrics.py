@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Validate metrics/1 JSON snapshots (the --metrics-out format).
+"""Validate metrics/1 snapshots and metricsts/1 timelines.
 
-Checks, per file:
+The mode is detected per file from the "schema" field of the first JSON
+value: a metrics/1 file is one whole-document snapshot (the --metrics-out
+format), a metricsts/1 file is an NDJSON timeline (the --metrics-ts-out
+format: one header line, then one line per sample).
+
+metrics/1 checks:
   - the document is {"schema": "metrics/1", "metrics": [...]} and nothing
     else;
   - entries are sorted by name with no duplicates;
@@ -14,16 +19,29 @@ Checks, per file:
     len(bounds) + 1 entries (the last is the overflow bucket), every
     bucket is a non-negative int, and the buckets sum to count.
 
+metricsts/1 checks:
+  - the header is {"schema": "metricsts/1", "interval_us", "samples",
+    "dropped"} and the sample count matches the body;
+  - samples are {"seq", "ts_us", "metrics": [...]} with seq strictly
+    increasing and ts_us monotone non-decreasing;
+  - every sample's entries pass the metrics/1 entry checks (sorted,
+    unique, kind-exact);
+  - sample values are cumulative, so per name, counter counts and
+    histogram counts never decrease across the timeline.
+
 Exit status 0 when every file validates, 1 otherwise.
 
---require NAME fails unless an entry named NAME appears (repeatable).
---require-nonzero NAME additionally requires its count/value to be > 0;
-CI's serve-smoke job uses this to assert the daemon actually served the
-loadgen workload before it drained.
+--require NAME fails unless an entry named NAME appears (repeatable; for
+timelines, anywhere in the timeline).
+--require-nonzero NAME additionally requires its count/value to be > 0
+(for timelines, in the last sample that carries it); CI's serve-smoke job
+uses this to assert the daemon actually served the loadgen workload.
 
 Usage:
   scripts/check_metrics.py dbn.metrics.json \
       --require-nonzero serve.requests --require serve.latency_us
+  scripts/check_metrics.py serve.metricsts.ndjson \
+      --require-nonzero serve.responses_ok
 """
 
 import argparse
@@ -110,12 +128,118 @@ def magnitude(entry):
     return entry.get("count", 0)
 
 
+def check_sample_entries(where, entries, errors):
+    """metrics/1 entry checks for one entry list; returns {name: entry}."""
+    by_name = {}
+    names_in_order = []
+    for i, entry in enumerate(entries):
+        name = check_entry(where, i, entry, errors)
+        if name is None:
+            continue
+        if name in by_name:
+            errors.append(f"{where}: duplicate entry {name!r}")
+        by_name[name] = entry
+        names_in_order.append(name)
+    if names_in_order != sorted(names_in_order):
+        errors.append(f"{where}: entries are not sorted by name")
+    return by_name
+
+
+def check_timeline(path, lines, require, require_nonzero):
+    errors = []
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as e:
+        return [f"{path}: header: {e}"], 0
+    if (not isinstance(header, dict)
+            or set(header) != {"schema", "interval_us", "samples",
+                               "dropped"}):
+        return [f"{path}: header is not {{schema, interval_us, samples, "
+                "dropped}}"], 0
+    if not (is_count(header["interval_us"]) and header["interval_us"] > 0):
+        errors.append(f"{path}: interval_us {header['interval_us']!r} is "
+                      "not a positive integer")
+    if not is_count(header["dropped"]):
+        errors.append(f"{path}: dropped {header['dropped']!r} is not a "
+                      "non-negative integer")
+    body = [line for line in lines[1:] if line.strip()]
+    if header.get("samples") != len(body):
+        errors.append(f"{path}: header says {header.get('samples')!r} "
+                      f"samples, file has {len(body)}")
+
+    last_seq = None
+    last_ts = None
+    # Cumulative floors per name: counter/histogram counts never decrease.
+    floors = {}
+    last_entry = {}
+    for i, line in enumerate(body):
+        where = f"{path}: sample[{i}]"
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{where}: {e}")
+            continue
+        if (not isinstance(sample, dict)
+                or set(sample) != {"seq", "ts_us", "metrics"}):
+            errors.append(f"{where}: not {{seq, ts_us, metrics}}")
+            continue
+        if not is_count(sample["seq"]):
+            errors.append(f"{where}: seq {sample['seq']!r} is not a "
+                          "non-negative integer")
+        elif last_seq is not None and sample["seq"] <= last_seq:
+            errors.append(f"{where}: seq {sample['seq']} after {last_seq} "
+                          "(must be strictly increasing)")
+        if is_count(sample["seq"]):
+            last_seq = sample["seq"]
+        if not is_finite_number(sample["ts_us"]):
+            errors.append(f"{where}: ts_us {sample['ts_us']!r} is not a "
+                          "finite number")
+        elif last_ts is not None and sample["ts_us"] < last_ts:
+            errors.append(f"{where}: ts_us {sample['ts_us']} before "
+                          f"{last_ts} (must be monotone non-decreasing)")
+        if is_finite_number(sample["ts_us"]):
+            last_ts = sample["ts_us"]
+        if not isinstance(sample["metrics"], list):
+            errors.append(f"{where}: metrics is not a list")
+            continue
+        by_name = check_sample_entries(where, sample["metrics"], errors)
+        for name, entry in by_name.items():
+            if entry.get("kind") in ("counter", "histogram"):
+                count = entry.get("count")
+                if is_count(count):
+                    floor = floors.get(name)
+                    if floor is not None and count < floor:
+                        errors.append(
+                            f"{where}: {name} count {count} fell below "
+                            f"{floor} (timeline values are cumulative)")
+                    floors[name] = count
+            last_entry[name] = entry
+
+    for name in require + require_nonzero:
+        if name not in last_entry:
+            errors.append(f"{path}: required metric {name!r} missing "
+                          "from every sample")
+    for name in require_nonzero:
+        entry = last_entry.get(name)
+        if entry is not None and not magnitude(entry) > 0:
+            errors.append(f"{path}: {name} is zero in its last sample "
+                          f"({json.dumps(entry)})")
+    return errors, len(body)
+
+
 def check_file(path, require, require_nonzero):
     errors = []
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+            text = f.read()
+    except OSError as e:
+        return [f"{path}: {e}"], 0
+    lines = text.splitlines()
+    if lines and '"metricsts/1"' in lines[0]:
+        return check_timeline(path, lines, require, require_nonzero)
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
         return [f"{path}: {e}"], 0
     if not isinstance(doc, dict) or set(doc) != {"schema", "metrics"}:
         return [f"{path}: document is not "
@@ -125,18 +249,7 @@ def check_file(path, require, require_nonzero):
     if not isinstance(doc["metrics"], list):
         return [f"{path}: metrics is not a list"], 0
 
-    by_name = {}
-    names_in_order = []
-    for i, entry in enumerate(doc["metrics"]):
-        name = check_entry(path, i, entry, errors)
-        if name is None:
-            continue
-        if name in by_name:
-            errors.append(f"{path}: duplicate entry {name!r}")
-        by_name[name] = entry
-        names_in_order.append(name)
-    if names_in_order != sorted(names_in_order):
-        errors.append(f"{path}: entries are not sorted by name")
+    by_name = check_sample_entries(path, doc["metrics"], errors)
 
     for name in require + require_nonzero:
         if name not in by_name:
@@ -174,7 +287,7 @@ def main():
                 print(f"{path}: ... and {len(errors) - 50} more errors",
                       file=sys.stderr)
         elif not args.quiet:
-            print(f"check_metrics: {path} ok ({total} metrics)")
+            print(f"check_metrics: {path} ok ({total} entries)")
     return 1 if failed else 0
 
 

@@ -59,7 +59,8 @@ STD_RAND_RE = re.compile(r"std\s*::\s*rand\b|(?<![A-Za-z0-9_:])s?rand\s*\(")
 # don't match.
 RAW_NEW_RE = re.compile(r"(?<![A-Za-z0-9_])new\b(?!\s*\()")
 SCHEMA_LITERAL_RE = re.compile(
-    r"(?:trace|metrics|chaos|dbn-bench|serve|loadgen|case|corpus)/[0-9]+"
+    r"(?:trace|metricsts|metrics|introspect|chaos|dbn-bench|serve|loadgen"
+    r"|case|corpus)/[0-9]+"
 )
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 

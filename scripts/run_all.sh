@@ -45,22 +45,39 @@ run_step bench-report - python3 scripts/bench_report.py record \
   --build-dir build --smoke --out bench_report.json
 
 # Serving smoke: spawn-mode loadgen over stdio (no ports involved), then
-# a TCP boot/drain cycle mirroring CI's serve-smoke job.
+# a TCP boot/drain cycle mirroring CI's serve-smoke job: the daemon runs
+# with the observability plane armed (metricsts/1 timeline, sampled
+# request traces, slow log), `dbn top --once` scrapes the introspection
+# probe mid-load, and check_metrics validates both the live snapshot and
+# the flushed timeline alongside the final metrics document.
 run_step serve-loadgen - ./build/tools/dbn_loadgen 2 10 \
   "--spawn=./build/tools/dbn serve 2 10 --stdio --threads=2 --cache=1024" \
   --requests=2000 --inflight=32 --distance-frac=0.25 --stats
 
 serve_smoke() {
-  rm -f serve.port serve_metrics.json
+  rm -f serve.port serve_metrics.json serve_timeline.ndjson \
+    serve_live_snapshot.json
   ./build/tools/dbn serve 2 12 --port=0 --port-file=serve.port \
-    --threads=2 --metrics-out=serve_metrics.json 2>/dev/null &
+    --threads=2 --metrics-out=serve_metrics.json \
+    --metrics-interval=50 --metrics-ts-out=serve_timeline.ndjson \
+    --trace-sample=8 --trace-out=serve_trace.ndjson --slow-us=5000 \
+    2>/dev/null &
   local serve_pid=$!
   local status=0
   ./build/tools/dbn_loadgen 2 12 --port-file=serve.port \
     --connections=4 --requests=4000 --inflight=64 --stats \
-    --out=loadgen_output.ndjson || status=$?
+    --out=loadgen_output.ndjson &
+  local loadgen_pid=$!
+  ./build/tools/dbn_top --port-file=serve.port --once \
+    --metrics-out=serve_live_snapshot.json || status=$?
+  wait "${loadgen_pid}" || status=$?
   kill -TERM "${serve_pid}" 2>/dev/null || status=1
   wait "${serve_pid}" || status=$?
+  python3 scripts/check_metrics.py serve_live_snapshot.json \
+    --require-nonzero serve.requests || status=$?
+  python3 scripts/check_metrics.py serve_timeline.ndjson \
+    --require-nonzero serve.requests \
+    --require-nonzero serve.responses_ok || status=$?
   python3 scripts/check_metrics.py serve_metrics.json \
     --require-nonzero serve.requests \
     --require-nonzero serve.responses_ok || status=$?

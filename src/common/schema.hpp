@@ -32,6 +32,15 @@ inline constexpr std::string_view kServe = "serve/1";
 /// scripts/check_metrics.py reads the server-side metrics instead).
 inline constexpr std::string_view kLoadgen = "loadgen/1";
 
+/// Metrics time-series NDJSON timeline: one header line plus one line per
+/// periodic registry sample (obs/live.hpp, scripts/check_metrics.py).
+inline constexpr std::string_view kMetricsTs = "metricsts/1";
+
+/// Serve introspection probe document: server config + exact request
+/// accounting + embedded metrics snapshot (serve/introspect.hpp,
+/// tools/dbn_top, docs/serving.md).
+inline constexpr std::string_view kIntrospect = "introspect/1";
+
 /// Registry names for metrics that more than one subsystem reads or
 /// writes (emitter in src/, consumers in scripts/ and the bench layer).
 /// Single-writer metric names may stay literal at their emission site;
@@ -50,6 +59,17 @@ inline constexpr std::string_view kLayerEvictions = "layer.evictions";
 /// dropped on TTL exhaustion and backward (deflection) moves taken.
 inline constexpr std::string_view kSimDroppedTtl = "sim.dropped_ttl";
 inline constexpr std::string_view kSimDeflections = "sim.adaptive_deflections";
+
+/// Serving slow-request log (serve/server.cpp): responses whose
+/// admit->respond latency crossed the --slow-us threshold.
+inline constexpr std::string_view kServeSlowRequests = "serve.slow_requests";
+
+/// Per-connection serving counters (serve/server.cpp, read by the
+/// introspect probe and the future per-client quota work): currently
+/// connected peers, and the distribution of per-connection request
+/// counts observed when each connection closes.
+inline constexpr std::string_view kServeConnActive = "serve.conn.active";
+inline constexpr std::string_view kServeConnRequests = "serve.conn.requests";
 
 }  // namespace metric
 

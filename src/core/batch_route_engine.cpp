@@ -1,6 +1,7 @@
 #include "core/batch_route_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/contract.hpp"
 #include "common/thread_pool.hpp"
@@ -205,6 +206,10 @@ void BatchRouteEngine::route_batch_into(const std::vector<RouteQuery>& queries,
               .arg(obs::targ("end", static_cast<std::uint64_t>(end)))
               .arg(obs::targ("worker", static_cast<std::uint64_t>(worker)));
         }
+        std::optional<obs::TraceSuppressScope> suppress;
+        if (!options_.trace_routes) {
+          suppress.emplace();  // on this worker, for this chunk only
+        }
         for (std::size_t i = begin; i < end; ++i) {
           const RouteQuery& query = queries[i];
           validate(query);
@@ -253,6 +258,10 @@ std::vector<int> BatchRouteEngine::distance_batch(
       [this, &queries, &out](std::size_t begin, std::size_t end,
                              std::size_t worker) {
         Scratch& scratch = *scratch_[worker];
+        std::optional<obs::TraceSuppressScope> suppress;
+        if (!options_.trace_routes) {
+          suppress.emplace();
+        }
         for (std::size_t i = begin; i < end; ++i) {
           validate(queries[i]);
           out[i] = compute_distance(queries[i], scratch);

@@ -72,6 +72,12 @@ struct BatchRouteOptions {
   std::size_t cache_shards = 16;
   /// How the bi-directional backends emit the arbitrary digits.
   WildcardMode wildcard_mode = WildcardMode::Concrete;
+  /// When false, per-query route/hop spans are suppressed inside the batch
+  /// loops (the engine's own batch/chunk spans still fire). The serving
+  /// path turns this off: with a trace sink installed for sampled
+  /// per-request spans, every routed query would otherwise pay the full
+  /// per-hop tracer.
+  bool trace_routes = true;
 };
 
 /// One source/destination pair; both words must be vertices of DG(d,k).

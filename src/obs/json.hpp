@@ -1,11 +1,17 @@
-// Tiny JSON-emission helpers shared by the metrics/trace exporters. The
-// exporters write JSON by hand (no third-party dependency) and need two
-// things done consistently: string escaping and *deterministic* double
-// formatting, so that two identical runs export byte-identical documents.
+// Tiny JSON helpers shared by the metrics/trace exporters and the live
+// probes. The exporters write JSON by hand (no third-party dependency) and
+// need two things done consistently: string escaping and *deterministic*
+// double formatting, so that two identical runs export byte-identical
+// documents. The probe clients (dbn_top, dbn_loadgen) read those same
+// documents back, so a minimal parser lives here too.
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace dbn::obs {
 
@@ -17,5 +23,36 @@ std::string json_escape(std::string_view text);
 /// back to %.17g), with "inf"/"nan" never produced: non-finite values are
 /// rendered as 0 (our schemas carry only finite numbers). Deterministic.
 std::string json_number(double value);
+
+/// A parsed JSON value. Numbers ride as double (every counter this repo
+/// emits fits 2^53 exactly); objects keep member order. Built for reading
+/// this repo's own emissions (metrics/1, introspect/1), not as a general
+/// validator — it accepts that subset plus ordinary standard JSON.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // Kind::Array
+  std::vector<std::pair<std::string, JsonValue>> members;  // Kind::Object
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Member coercions for probe readers: fallback when the member is
+  /// missing or has the wrong kind.
+  double number_at(std::string_view key, double fallback = 0.0) const;
+  std::string_view string_at(std::string_view key,
+                             std::string_view fallback = {}) const;
+};
+
+/// Parses one JSON document (the whole input, trailing whitespace allowed).
+/// Returns nullopt on any syntax error or on nesting deeper than 64 levels.
+std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace dbn::obs

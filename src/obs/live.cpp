@@ -1,0 +1,123 @@
+#include "obs/live.hpp"
+
+#include <ostream>
+#include <utility>
+
+#include "common/schema.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace dbn::obs {
+
+namespace {
+
+// Entries are only re-recorded when their merged state moved. Histogram
+// bucket vectors need no inspection: any observation bumps `count`.
+bool entry_changed(const MetricSnapshot& now, const MetricSnapshot& before) {
+  return now.kind != before.kind || now.count != before.count ||
+         now.sum != before.sum || now.value != before.value;
+}
+
+}  // namespace
+
+MetricsTimeline::MetricsTimeline(MetricsTimelineOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &MetricsRegistry::global()) {}
+
+MetricsTimeline::~MetricsTimeline() { stop(); }
+
+void MetricsTimeline::start() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (running_) {
+      return;
+    }
+    stop_requested_ = false;
+    running_ = true;
+  }
+  sampler_ = std::thread([this] { sampler_main(); });
+}
+
+void MetricsTimeline::stop() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    if (!running_) {
+      return;
+    }
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(wake_mutex_);
+  running_ = false;
+}
+
+void MetricsTimeline::sampler_main() {
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    sample_now();
+    lock.lock();
+    wake_.wait_for(lock, options_.interval, [this] { return stop_requested_; });
+  }
+}
+
+std::size_t MetricsTimeline::sample_now() {
+  MetricsSnapshot snapshot = registry_->snapshot();
+  const double ts = wall_ts_micros();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Sample sample;
+  sample.seq = next_seq_++;
+  sample.ts_us = ts;
+  for (const MetricSnapshot& entry : snapshot.entries) {
+    const MetricSnapshot* before =
+        have_previous_ ? previous_.find(entry.name) : nullptr;
+    if (before == nullptr || entry_changed(entry, *before)) {
+      sample.entries.push_back(entry);
+    }
+  }
+  const std::size_t changed = sample.entries.size();
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  previous_ = std::move(snapshot);
+  have_previous_ = true;
+  return changed;
+}
+
+std::size_t MetricsTimeline::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t MetricsTimeline::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void MetricsTimeline::flush(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"schema\":\"" << schema::kMetricsTs
+      << "\",\"interval_us\":" << options_.interval.count()
+      << ",\"samples\":" << ring_.size() << ",\"dropped\":" << dropped_
+      << "}\n";
+  for (const Sample& sample : ring_) {
+    out << "{\"seq\":" << sample.seq
+        << ",\"ts_us\":" << json_number(sample.ts_us) << ",\"metrics\":[";
+    bool first = true;
+    for (const MetricSnapshot& entry : sample.entries) {
+      if (!first) {
+        out << ",";
+      }
+      first = false;
+      append_metric_json(entry, out);
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace dbn::obs

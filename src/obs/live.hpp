@@ -1,0 +1,99 @@
+// MetricsTimeline — periodic registry sampling into a bounded ring buffer
+// (schema "metricsts/1").
+//
+// A terminal metrics/1 snapshot tells you *that* the queue shed requests;
+// it cannot tell you *when*. The timeline closes that gap: a background
+// thread samples MetricsRegistry::snapshot() every `interval` and retains
+// the last `capacity` samples, each encoded as a delta — only the entries
+// whose merged state changed since the previously retained sample ride in
+// a sample line (the first sample carries everything). Entries keep their
+// *cumulative* values, so offline tooling can check counter monotonicity
+// across samples without replaying deltas (scripts/check_metrics.py).
+//
+// flush() writes the NDJSON timeline:
+//   {"schema":"metricsts/1","interval_us":U,"samples":K,"dropped":D}
+//   {"seq":S,"ts_us":T,"metrics":[<metrics/1 entry objects>]}
+//   ...
+// `seq` is the global sample index (monotone even after ring eviction);
+// `dropped` counts evicted samples so a truncated timeline is visible.
+//
+// sample_now() is public and thread-safe so tests (and drain paths that
+// want one final post-quiesce sample) can drive the timeline without the
+// thread. snapshot() itself is safe against concurrent increments, so the
+// sampler never blocks the instrumented hot paths.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace dbn::obs {
+
+struct MetricsTimelineOptions {
+  /// Registry to sample; defaults to the process-wide one.
+  MetricsRegistry* registry = nullptr;
+  /// Sampling period for the background thread.
+  std::chrono::microseconds interval = std::chrono::seconds(1);
+  /// Ring capacity in samples; older samples are dropped (and counted).
+  std::size_t capacity = 4096;
+};
+
+class MetricsTimeline {
+ public:
+  explicit MetricsTimeline(MetricsTimelineOptions options = {});
+  ~MetricsTimeline();
+
+  MetricsTimeline(const MetricsTimeline&) = delete;
+  MetricsTimeline& operator=(const MetricsTimeline&) = delete;
+
+  /// Starts the background sampler (idempotent).
+  void start();
+  /// Stops the background sampler and joins it (idempotent). Retained
+  /// samples survive; call sample_now() after for a final cut.
+  void stop();
+
+  /// Takes one sample immediately. Returns the number of entries that
+  /// changed (and were therefore recorded); an unchanged registry still
+  /// appends an empty sample so the timeline's clock keeps ticking.
+  std::size_t sample_now();
+
+  std::size_t sample_count() const;
+  std::uint64_t dropped() const;
+
+  /// Writes the metricsts/1 NDJSON document.
+  void flush(std::ostream& out) const;
+
+ private:
+  struct Sample {
+    std::uint64_t seq = 0;
+    double ts_us = 0.0;
+    std::vector<MetricSnapshot> entries;  // changed entries, cumulative values
+  };
+
+  void sampler_main();
+
+  MetricsTimelineOptions options_;
+  MetricsRegistry* registry_;
+
+  mutable std::mutex mutex_;
+  std::deque<Sample> ring_;
+  MetricsSnapshot previous_;
+  bool have_previous_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace dbn::obs

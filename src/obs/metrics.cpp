@@ -326,6 +326,39 @@ const MetricSnapshot* MetricsSnapshot::find(std::string_view name) const {
   return nullptr;
 }
 
+void append_metric_json(const MetricSnapshot& entry, std::ostream& out) {
+  out << "{\"name\":\"" << json_escape(entry.name) << "\",\"kind\":\""
+      << metric_kind_name(entry.kind) << "\"";
+  switch (entry.kind) {
+    case MetricKind::Counter:
+      out << ",\"count\":" << entry.count;
+      break;
+    case MetricKind::Gauge:
+      out << ",\"value\":" << entry.value;
+      break;
+    case MetricKind::Histogram: {
+      out << ",\"count\":" << entry.count << ",\"sum\":"
+          << json_number(entry.sum) << ",\"bounds\":[";
+      for (std::size_t i = 0; i < entry.bounds.size(); ++i) {
+        if (i != 0) {
+          out << ",";
+        }
+        out << json_number(entry.bounds[i]);
+      }
+      out << "],\"buckets\":[";
+      for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
+        if (i != 0) {
+          out << ",";
+        }
+        out << entry.buckets[i];
+      }
+      out << "]";
+      break;
+    }
+  }
+  out << "}";
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream out;
   out << "{\"schema\":\"" << schema::kMetrics << "\",\"metrics\":[";
@@ -335,36 +368,7 @@ std::string MetricsSnapshot::to_json() const {
       out << ",";
     }
     first = false;
-    out << "{\"name\":\"" << json_escape(entry.name) << "\",\"kind\":\""
-        << metric_kind_name(entry.kind) << "\"";
-    switch (entry.kind) {
-      case MetricKind::Counter:
-        out << ",\"count\":" << entry.count;
-        break;
-      case MetricKind::Gauge:
-        out << ",\"value\":" << entry.value;
-        break;
-      case MetricKind::Histogram: {
-        out << ",\"count\":" << entry.count
-            << ",\"sum\":" << json_number(entry.sum) << ",\"bounds\":[";
-        for (std::size_t i = 0; i < entry.bounds.size(); ++i) {
-          if (i != 0) {
-            out << ",";
-          }
-          out << json_number(entry.bounds[i]);
-        }
-        out << "],\"buckets\":[";
-        for (std::size_t i = 0; i < entry.buckets.size(); ++i) {
-          if (i != 0) {
-            out << ",";
-          }
-          out << entry.buckets[i];
-        }
-        out << "]";
-        break;
-      }
-    }
-    out << "}";
+    append_metric_json(entry, out);
   }
   out << "]}\n";
   return out.str();

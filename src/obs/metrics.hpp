@@ -124,6 +124,11 @@ struct MetricSnapshot {
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 };
 
+/// Renders one entry as its "metrics/1" JSON object (no trailing newline).
+/// Shared by MetricsSnapshot::to_json and the metricsts/1 timeline writer
+/// so both formats stay byte-compatible per entry.
+void append_metric_json(const MetricSnapshot& entry, std::ostream& out);
+
 /// All metrics of one registry, merged across threads, sorted by name.
 struct MetricsSnapshot {
   std::vector<MetricSnapshot> entries;

@@ -12,6 +12,7 @@ namespace dbn::obs {
 
 namespace detail {
 std::atomic<TraceSink*> g_trace_sink{nullptr};
+thread_local int t_trace_suppress = 0;
 }  // namespace detail
 
 namespace {

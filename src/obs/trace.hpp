@@ -75,6 +75,7 @@ class TraceSink {
 
 namespace detail {
 extern std::atomic<TraceSink*> g_trace_sink;
+extern thread_local int t_trace_suppress;
 }  // namespace detail
 
 /// Installs (or, with nullptr, removes) the process-global sink. The caller
@@ -87,8 +88,23 @@ inline bool tracing_enabled() {
   // code that actually emits re-reads the pointer through trace_sink()'s
   // acquire load, so a stale answer here costs at most one skipped (or
   // wasted) event around an enable/disable flip, by design.
-  return detail::g_trace_sink.load(std::memory_order_relaxed) != nullptr;
+  return detail::g_trace_sink.load(std::memory_order_relaxed) != nullptr &&
+         detail::t_trace_suppress == 0;
 }
+
+/// RAII: silences tracing_enabled() on this thread while alive (nestable).
+/// The serving path uses this around bulk routing so installing a sink for
+/// sampled per-request spans does not also light up the per-hop route
+/// tracer on every query in every batch — that detail level stays a CLI
+/// debugging feature. Thread-scoped: a guard on a dispatcher thread says
+/// nothing about pool workers; whoever runs the loop holds the guard.
+class TraceSuppressScope {
+ public:
+  TraceSuppressScope() { ++detail::t_trace_suppress; }
+  ~TraceSuppressScope() { --detail::t_trace_suppress; }
+  TraceSuppressScope(const TraceSuppressScope&) = delete;
+  TraceSuppressScope& operator=(const TraceSuppressScope&) = delete;
+};
 
 inline TraceSink* trace_sink() {
   // memory_order_acquire, paired with the release store in

@@ -89,7 +89,7 @@ void encode_pair_request(RequestType type, std::uint64_t id, const Word& x,
 
 bool known_request_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(RequestType::Route) &&
-         type <= static_cast<std::uint8_t>(RequestType::Stats);
+         type <= static_cast<std::uint8_t>(RequestType::Introspect);
 }
 
 }  // namespace
@@ -138,8 +138,9 @@ void encode_distance_request(std::uint64_t id, const Word& x, const Word& y,
 
 void encode_control_request(RequestType type, std::uint64_t id,
                             std::string& out) {
-  DBN_REQUIRE(type == RequestType::Ping || type == RequestType::Stats,
-              "control requests are Ping or Stats");
+  DBN_REQUIRE(type == RequestType::Ping || type == RequestType::Stats ||
+                  type == RequestType::Introspect,
+              "control requests are Ping, Stats, or Introspect");
   const std::size_t frame = begin_frame(out);
   out.push_back(static_cast<char>(type));
   put_u64(id, out);
@@ -213,6 +214,7 @@ DecodedRequest decode_request(std::string_view payload) {
   switch (result.request.type) {
     case RequestType::Ping:
     case RequestType::Stats:
+    case RequestType::Introspect:
       if (!body.empty()) {
         result.error = DecodeError::TrailingBytes;
       }
@@ -306,6 +308,7 @@ DecodedResponse decode_response(std::string_view payload) {
       }
       return result;
     case RequestType::Stats:
+    case RequestType::Introspect:
       result.response.body.assign(body);
       return result;
   }

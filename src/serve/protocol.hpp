@@ -7,17 +7,23 @@
 //   response := u8 status | u8 type | u64-LE id | body
 //
 // Request bodies:
-//   Route / Distance   u16-LE k | k bytes X digits | k bytes Y digits
-//   Ping / Stats       empty
+//   Route / Distance          u16-LE k | k bytes X digits | k bytes Y digits
+//   Ping / Stats / Introspect empty
 //
 // Response bodies (status == Ok):
-//   Route     u16-LE hop_count | hop_count x (u8 shift, u8 digit)
-//             shift: 0 = left, 1 = right; digit 0xFF encodes the paper's
-//             "*" wildcard (any forwarding site may pick the digit)
-//   Distance  u32-LE distance
-//   Ping      empty
-//   Stats     UTF-8 metrics/1 JSON snapshot
+//   Route      u16-LE hop_count | hop_count x (u8 shift, u8 digit)
+//              shift: 0 = left, 1 = right; digit 0xFF encodes the paper's
+//              "*" wildcard (any forwarding site may pick the digit)
+//   Distance   u32-LE distance
+//   Ping       empty
+//   Stats      UTF-8 metrics/1 JSON snapshot
+//   Introspect UTF-8 introspect/1 JSON document (config + exact accounting
+//              + embedded metrics snapshot; see docs/serving.md)
 // Response bodies (status != Ok): UTF-8 error message.
+//
+// Introspect is a compatible extension of serve/1: servers predating it
+// answer BadRequest(unknown-type) on the request's own id, which probes
+// (dbn_top, dbn_loadgen) treat as "no probe support", not as a failure.
 //
 // Digits ride in one byte each, which is why the server requires d <= 255
 // (0xFF stays free for the wildcard). The frame length prefix is bounded
@@ -52,8 +58,9 @@ inline constexpr std::uint32_t kMaxWireRadix = 255;
 enum class RequestType : std::uint8_t {
   Route = 1,     // full routing path for (X, Y)
   Distance = 2,  // undirected/directed distance per the server's backend
-  Ping = 3,      // liveness; echoes the id
-  Stats = 4,     // metrics/1 snapshot of the server's registry
+  Ping = 3,        // liveness; echoes the id
+  Stats = 4,       // metrics/1 snapshot of the server's registry
+  Introspect = 5,  // introspect/1 probe: config + exact accounting
 };
 
 enum class Status : std::uint8_t {

@@ -42,6 +42,8 @@
 
 #include "core/batch_route_engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/introspect.hpp"
 #include "serve/protocol.hpp"
 
 namespace dbn::serve {
@@ -59,18 +61,39 @@ struct ServeConfig {
   /// Hot-route cache entries (the engine's sharded memo cache; 0 = off).
   std::size_t cache_entries = 0;
   WildcardMode wildcard_mode = WildcardMode::Concrete;
+  /// Trace 1-in-N requests end to end (admit->dispatch->route->respond
+  /// spans on the global TraceSink); 0 = off, 1 = every request. The
+  /// choice is a deterministic hash of (trace_seed, wire id).
+  std::uint64_t trace_sample = 0;
+  std::uint64_t trace_seed = 0;
+  /// Capture requests slower than this (admit->respond, microseconds) in
+  /// the slow-request log; 0 = off. Boundary inclusive.
+  double slow_us = 0.0;
+  /// Slow-log ring capacity (older records evicted, capture count kept).
+  std::size_t slow_log_capacity = 64;
 };
 
-/// Admission/answer counters, readable at any time (snapshot semantics:
-/// counters are monotone; read after wait_drained() for exact totals).
+/// Admission/answer counters. Every cut returned by stats()/introspect()
+/// is exact: all transitions commit under the server's queue lock, so
+///
+///   requests == responses_ok + rejected_overload + rejected_draining
+///             + (rejected_bad_request - rejected_undecodable)
+///             + queue_depth + inflight
+///
+/// holds at the instant of any snapshot (queue_depth/inflight via
+/// introspect(); both are zero after wait_drained()). rejected_undecodable
+/// answers sit outside `requests` because an undecodable frame never
+/// yields a countable request — only a BadRequest answer.
 struct ServeStats {
   std::uint64_t requests = 0;          // decoded requests of any type
   std::uint64_t responses_ok = 0;
   std::uint64_t rejected_overload = 0;
   std::uint64_t rejected_bad_request = 0;
+  std::uint64_t rejected_undecodable = 0;  // subset of rejected_bad_request
   std::uint64_t rejected_draining = 0;
   std::uint64_t protocol_errors = 0;   // connection-fatal framing errors
   std::uint64_t batches = 0;           // dispatcher micro-batches
+  std::uint64_t slow_requests = 0;     // latency >= ServeConfig::slow_us
 };
 
 class RouteServer;
@@ -96,18 +119,47 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// True at EOF time iff the peer never truncated a frame mid-stream.
   bool clean() const;
 
+  /// Small sequential id, unique within this server (probe/trace key).
+  std::uint64_t id() const { return id_; }
+  /// Per-connection counters (relaxed; the quota substrate the probe
+  /// reports): decoded requests admitted from this peer, and response
+  /// frames sent back to it.
+  std::uint64_t request_count() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t response_count() const {
+    return responses_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class RouteServer;
-  Connection(RouteServer* server, ResponseSink sink)
-      : server_(server), sink_(std::move(sink)) {}
+  Connection(RouteServer* server, std::uint64_t id, ResponseSink sink)
+      : server_(server), id_(id), sink_(std::move(sink)) {}
 
   void send(std::string_view frames);
 
   RouteServer* server_;
+  const std::uint64_t id_;
   FrameReader reader_;
   bool failed_ = false;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
   std::mutex write_mutex_;  // serializes reader-thread and dispatcher sends
   ResponseSink sink_;       // guarded by write_mutex_ (close() nulls it)
+  bool closed_ = false;     // guarded by write_mutex_ (close-once metrics)
+};
+
+/// One exact cut of the server's accounting, every field read under the
+/// same lock acquisition, so the ServeStats identity holds field-for-field
+/// at the instant of the snapshot. The probe (introspect_json) serializes
+/// this; the reconcile tests assert the identity directly.
+struct IntrospectSnapshot {
+  ServeStats stats;
+  std::size_t queue_depth = 0;
+  std::size_t inflight = 0;  // popped by the dispatcher, not yet answered
+  double uptime_us = 0.0;
+  std::vector<ConnectionInfo> connections;
+  std::vector<SlowRecord> slow;
 };
 
 class RouteServer {
@@ -137,7 +189,14 @@ class RouteServer {
 
   ServeStats stats() const;
   std::size_t queue_depth() const;
+  /// The exact accounting cut the introspect probe serves: stats, queue
+  /// depth, inflight count, uptime, per-connection counters, slow log —
+  /// the counter fields under one lock acquisition. Never blocks on the
+  /// dispatcher beyond that lock.
+  IntrospectSnapshot introspect() const;
   const ServeConfig& config() const { return config_; }
+  const SlowLog& slow_log() const { return slow_log_; }
+  const TraceSampler& sampler() const { return sampler_; }
 
  private:
   friend class Connection;
@@ -146,6 +205,7 @@ class RouteServer {
     std::shared_ptr<Connection> conn;
     Request request;
     std::chrono::steady_clock::time_point enqueued;
+    obs::Span span;  // live only for sampled requests under tracing
   };
 
   // Dispatcher-thread scratch, reused across micro-batches so the warmed
@@ -163,15 +223,27 @@ class RouteServer {
   /// One decoded request from a connection's reader thread. Responds
   /// inline (control/reject) or enqueues (route/distance).
   void admit(const std::shared_ptr<Connection>& conn, Request request);
+  /// Encodes and sends one error frame (no counting: every counter commits
+  /// at its decision site under mutex_, keeping snapshots exact).
   void respond_error(const std::shared_ptr<Connection>& conn,
                      RequestType type, std::uint64_t id, Status status,
                      std::string_view message);
+  /// The undecodable-frame path out of Connection::feed (counts the
+  /// BadRequest answer without counting a request).
+  void reject_undecodable(const std::shared_ptr<Connection>& conn,
+                          std::uint64_t id, std::string_view message);
+  /// First close() of a connection: folds its lifetime request count into
+  /// the serve.conn.* metrics.
+  void note_connection_closed(const Connection& conn);
   void dispatcher_main();
   void process_batch(std::vector<Pending>& batch, BatchScratch& scratch);
   void note_protocol_error();
 
   ServeConfig config_;
   BatchRouteEngine engine_;
+  TraceSampler sampler_;
+  SlowLog slow_log_;
+  const std::chrono::steady_clock::time_point started_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
@@ -179,15 +251,18 @@ class RouteServer {
   std::atomic<bool> draining_{false};
   std::once_flag join_once_;
 
-  // Monotone counters (relaxed: read-mostly diagnostics; exact after
-  // wait_drained() joins the dispatcher).
-  std::atomic<std::uint64_t> requests_{0};
-  std::atomic<std::uint64_t> responses_ok_{0};
-  std::atomic<std::uint64_t> rejected_overload_{0};
-  std::atomic<std::uint64_t> rejected_bad_request_{0};
-  std::atomic<std::uint64_t> rejected_draining_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> batches_{0};
+  // Exact accounting, all guarded by mutex_: every transition (admit,
+  // reject, batch pop, batch answer) commits its counter movement and its
+  // queue/inflight movement under the same lock hold, so any locked reader
+  // sees the ServeStats identity balance.
+  ServeStats stats_;
+  std::size_t inflight_ = 0;
+
+  // Connection registry for the probe (weak: connections are owned by
+  // their transports and by queued requests).
+  mutable std::mutex conns_mutex_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
 
   obs::Counter metrics_requests_;
   obs::Counter metrics_ok_;
@@ -197,9 +272,12 @@ class RouteServer {
   obs::Counter metrics_protocol_errors_;
   obs::Counter metrics_batches_;
   obs::Counter metrics_connections_;
+  obs::Counter metrics_slow_;
   obs::Histogram metrics_batch_size_;
   obs::Histogram metrics_latency_us_;
+  obs::Histogram metrics_conn_requests_;
   obs::Gauge metrics_queue_depth_;
+  obs::Gauge metrics_conn_active_;
 
   std::thread dispatcher_;  // last member: joins before the rest dies
 };

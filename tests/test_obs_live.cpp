@@ -1,0 +1,198 @@
+// Observability live-plane tests: the json_parse reader (the probe
+// clients' side of obs/json, which so far only wrote JSON) and the
+// MetricsTimeline recorder (delta encoding, cumulative values, ring
+// eviction, and a flush that its own parser can read back).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/schema.hpp"
+#include "obs/json.hpp"
+#include "obs/live.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace dbn;
+
+TEST(JsonParse, ReadsScalarsObjectsAndArrays) {
+  const auto doc = obs::json_parse(
+      R"({"name":"serve.requests","count":42,"ok":true,"gone":null,)"
+      R"("ratio":-2.5e-1,"tags":["a","b"],"nested":{"depth":2}})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->string_at("name"), "serve.requests");
+  EXPECT_EQ(doc->number_at("count"), 42.0);
+  EXPECT_EQ(doc->number_at("ratio"), -0.25);
+  EXPECT_EQ(doc->number_at("absent", -1.0), -1.0);
+  const obs::JsonValue* ok = doc->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->kind, obs::JsonValue::Kind::Bool);
+  EXPECT_TRUE(ok->boolean);
+  const obs::JsonValue* gone = doc->find("gone");
+  ASSERT_NE(gone, nullptr);
+  EXPECT_EQ(gone->kind, obs::JsonValue::Kind::Null);
+  const obs::JsonValue* tags = doc->find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_TRUE(tags->is_array());
+  ASSERT_EQ(tags->items.size(), 2u);
+  EXPECT_EQ(tags->items[1].string, "b");
+  const obs::JsonValue* nested = doc->find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->number_at("depth"), 2.0);
+}
+
+TEST(JsonParse, DecodesEscapesIncludingUnicode) {
+  const auto doc = obs::json_parse(R"({"s":"a\"b\\c\n\tAé"})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_at("s"), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(obs::json_parse("").has_value());
+  EXPECT_FALSE(obs::json_parse("{").has_value());
+  EXPECT_FALSE(obs::json_parse("{}extra").has_value());
+  EXPECT_FALSE(obs::json_parse("{'single':1}").has_value());
+  EXPECT_FALSE(obs::json_parse("{\"a\":01}").has_value());
+  EXPECT_FALSE(obs::json_parse("[1,]").has_value());
+  EXPECT_FALSE(obs::json_parse("nul").has_value());
+  // Depth bomb: past the parser's nesting cap, not past the stack.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(obs::json_parse(deep).has_value());
+}
+
+TEST(JsonParse, RoundTripsMetricsSnapshotJson) {
+  obs::MetricsRegistry registry;
+  registry.counter("a.count").inc(3);
+  registry.histogram("a.lat", {1.0, 10.0}).observe(5.0);
+  registry.gauge("a.depth").set(-2);
+  const auto doc = obs::json_parse(registry.snapshot().to_json());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_at("schema"), schema::kMetrics);
+  const obs::JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_array());
+  ASSERT_EQ(metrics->items.size(), 3u);
+  EXPECT_EQ(metrics->items[0].string_at("name"), "a.count");
+  EXPECT_EQ(metrics->items[0].number_at("count"), 3.0);
+  EXPECT_EQ(metrics->items[2].string_at("name"), "a.lat");
+  const obs::JsonValue* buckets = metrics->items[2].find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->items.size(), 3u);
+  EXPECT_EQ(buckets->items[1].number, 1.0);
+}
+
+TEST(MetricsTimeline, FirstSampleCarriesAllLaterSamplesOnlyChanges) {
+  obs::MetricsRegistry registry;
+  obs::Counter requests = registry.counter("x.requests");
+  obs::Gauge depth = registry.gauge("x.depth");
+  requests.inc(5);
+  depth.set(2);
+
+  obs::MetricsTimelineOptions options;
+  options.registry = &registry;
+  obs::MetricsTimeline timeline(options);
+
+  EXPECT_EQ(timeline.sample_now(), 2u);  // everything is new
+  EXPECT_EQ(timeline.sample_now(), 0u);  // nothing moved; still a sample
+  requests.inc();
+  EXPECT_EQ(timeline.sample_now(), 1u);  // only the counter moved
+  EXPECT_EQ(timeline.sample_count(), 3u);
+  EXPECT_EQ(timeline.dropped(), 0u);
+
+  std::ostringstream out;
+  timeline.flush(out);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto header = obs::json_parse(line);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->string_at("schema"), schema::kMetricsTs);
+  EXPECT_EQ(header->number_at("samples"), 3.0);
+  EXPECT_EQ(header->number_at("dropped"), 0.0);
+
+  std::vector<obs::JsonValue> samples;
+  while (std::getline(in, line)) {
+    auto sample = obs::json_parse(line);
+    ASSERT_TRUE(sample.has_value()) << line;
+    samples.push_back(std::move(*sample));
+  }
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].find("metrics")->items.size(), 2u);
+  EXPECT_EQ(samples[1].find("metrics")->items.size(), 0u);
+  ASSERT_EQ(samples[2].find("metrics")->items.size(), 1u);
+  // Delta selection, cumulative values: the changed entry carries its
+  // merged total, not the movement since the previous sample.
+  const obs::JsonValue& changed = samples[2].find("metrics")->items[0];
+  EXPECT_EQ(changed.string_at("name"), "x.requests");
+  EXPECT_EQ(changed.number_at("count"), 6.0);
+  // seq strictly increasing, ts_us monotone.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].number_at("seq"), samples[i - 1].number_at("seq"));
+    EXPECT_GE(samples[i].number_at("ts_us"),
+              samples[i - 1].number_at("ts_us"));
+  }
+}
+
+TEST(MetricsTimeline, RingEvictionCountsDroppedAndKeepsSeq) {
+  obs::MetricsRegistry registry;
+  obs::Counter ticks = registry.counter("x.ticks");
+  obs::MetricsTimelineOptions options;
+  options.registry = &registry;
+  options.capacity = 3;
+  obs::MetricsTimeline timeline(options);
+  for (int i = 0; i < 8; ++i) {
+    ticks.inc();
+    timeline.sample_now();
+  }
+  EXPECT_EQ(timeline.sample_count(), 3u);
+  EXPECT_EQ(timeline.dropped(), 5u);
+
+  std::ostringstream out;
+  timeline.flush(out);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto header = obs::json_parse(line);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->number_at("samples"), 3.0);
+  EXPECT_EQ(header->number_at("dropped"), 5.0);
+  ASSERT_TRUE(std::getline(in, line));
+  const auto first_kept = obs::json_parse(line);
+  ASSERT_TRUE(first_kept.has_value());
+  // Samples 0..4 were evicted; the global sequence is still visible.
+  EXPECT_EQ(first_kept->number_at("seq"), 5.0);
+  EXPECT_EQ(first_kept->find("metrics")->items[0].number_at("count"), 6.0);
+}
+
+TEST(MetricsTimeline, BackgroundSamplerStopsCleanly) {
+  obs::MetricsRegistry registry;
+  obs::Counter ticks = registry.counter("x.ticks");
+  obs::MetricsTimelineOptions options;
+  options.registry = &registry;
+  options.interval = std::chrono::microseconds(500);
+  obs::MetricsTimeline timeline(options);
+  timeline.start();
+  timeline.start();  // idempotent
+  ticks.inc();
+  // The sampler fires on its own; wait for at least one sample.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (timeline.sample_count() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_GT(timeline.sample_count(), 0u);
+  timeline.stop();
+  timeline.stop();  // idempotent
+  const std::size_t after_stop = timeline.sample_count();
+  timeline.sample_now();  // the drain path's final cut still works
+  EXPECT_EQ(timeline.sample_count(), after_stop + 1);
+}
+
+}  // namespace

@@ -12,8 +12,12 @@
 //
 // Every command also accepts --trace-out=FILE (route spans / simulator
 // events as trace/1 NDJSON, or Chrome trace_event JSON when FILE ends in
-// ".json") and --metrics-out=FILE (metrics/1 snapshot of the global
-// registry after the run).
+// ".json"), --metrics-out=FILE (metrics/1 snapshot of the global registry
+// after the run), and --metrics-ts-out=FILE/--metrics-interval=MS (a
+// metricsts/1 NDJSON timeline sampled in the background — the serve
+// command's flight recorder). `dbn serve` additionally takes
+// --trace-sample=N (trace 1-in-N requests end to end, deterministic in
+// --trace-seed) and --slow-us=T (slow-request log threshold).
 //
 // Words are digit strings, e.g. "0110" for (0,1,1,0); digits above 9 are
 // not supported on the command line (the library itself has no such
@@ -67,7 +71,9 @@ void usage(std::ostream& out) {
          "            [--backend=uni|bidi|st|table] [--threads=N] "
          "[--queue=N]\n"
          "            [--batch=N] [--cache=N] [--wildcards]\n"
-         "all commands accept --trace-out=FILE and --metrics-out=FILE\n"
+         "            [--trace-sample=N] [--trace-seed=S] [--slow-us=T]\n"
+         "all commands accept --trace-out=FILE, --metrics-out=FILE,\n"
+         "  --metrics-ts-out=FILE and --metrics-interval=MS\n"
          "words are digit strings, e.g. 0110\n";
 }
 
@@ -366,6 +372,9 @@ int cmd_serve(std::uint32_t d, std::size_t k,
   config.queue_capacity = num_flag("--queue", config.queue_capacity);
   config.max_batch = num_flag("--batch", config.max_batch);
   config.cache_entries = num_flag("--cache", config.cache_entries);
+  config.trace_sample = num_flag("--trace-sample", 0);
+  config.trace_seed = num_flag("--trace-seed", 0);
+  config.slow_us = static_cast<double>(num_flag("--slow-us", 0));
   if (has_flag(args, "--wildcards")) {
     config.wildcard_mode = WildcardMode::Wildcards;
   }
@@ -392,7 +401,14 @@ int cmd_serve(std::uint32_t d, std::size_t k,
             << s.responses_ok << " ok, " << s.rejected_overload
             << " overloaded, " << s.rejected_bad_request << " bad, "
             << s.rejected_draining << " draining, " << s.protocol_errors
-            << " protocol errors, " << s.batches << " batches\n";
+            << " protocol errors, " << s.batches << " batches, "
+            << s.slow_requests << " slow\n";
+  for (const serve::SlowRecord& slow : server.slow_log().records()) {
+    std::cerr << "dbn serve: slow request id=" << slow.id << " conn="
+              << slow.conn << " total_us=" << slow.total_us
+              << " queue_us=" << slow.queue_us << " route_us="
+              << slow.route_us << " batch=" << slow.batch_size << "\n";
+  }
   return rc;
 }
 
@@ -412,9 +428,13 @@ int main(int argc, char** argv) {
     const auto k =
         static_cast<std::size_t>(std::atoi(std::string(args[2]).c_str()));
     const std::vector<std::string_view> rest(args.begin() + 3, args.end());
+    const std::string interval_text =
+        std::string(flag_value(rest, "--metrics-interval").value_or("1000"));
     if (!obs_writer.setup(
             std::string(flag_value(rest, "--trace-out").value_or("")),
-            std::string(flag_value(rest, "--metrics-out").value_or("")))) {
+            std::string(flag_value(rest, "--metrics-out").value_or("")),
+            std::string(flag_value(rest, "--metrics-ts-out").value_or("")),
+            std::atof(interval_text.c_str()))) {
       return 1;
     }
     if (command == "route") {

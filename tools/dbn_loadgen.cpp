@@ -23,7 +23,9 @@
 // budget is spent, and requires the child to drain and exit 0.
 //
 // Results are NDJSON (schema "loadgen/1" via schema.hpp): one config line,
-// one line per connection, one summary line with latency percentiles.
+// one line per connection, with --stats one "server" line embedding the
+// server's final metrics/1 snapshot verbatim, then one summary line with
+// latency percentiles.
 // Exit status is 0 only when every request was answered, every answer
 // verified, and (with --spawn) the child exited cleanly.
 #include <poll.h>
@@ -653,8 +655,12 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(Clock::now() - start).count();
 
   // Optional stats probe: one Stats request on connection 0's endpoint,
-  // checked to carry a metrics/1 snapshot.
+  // checked to carry a metrics/1 snapshot. The body is kept and recorded
+  // verbatim as an "event":"server" line, so a loadgen run's output holds
+  // the server-side accounting next to the client-side view of the same
+  // load (and check_metrics.py can validate it straight from this file).
   bool stats_ok = true;
+  std::string server_metrics;
   if (options.stats_probe) {
     stats_ok = false;
     Endpoint& endpoint = spawn_mode ? *spawned : *endpoints[0];
@@ -681,6 +687,12 @@ int main(int argc, char** argv) {
                      decoded.response.status == Status::Ok &&
                      decoded.response.body.find(schema::kMetrics) !=
                          std::string::npos;
+          if (stats_ok) {
+            server_metrics = decoded.response.body;
+            while (!server_metrics.empty() && server_metrics.back() == '\n') {
+              server_metrics.pop_back();
+            }
+          }
           break;
         }
       }
@@ -730,6 +742,10 @@ int main(int argc, char** argv) {
   const bool success = complete && total.verify_failures == 0 &&
                        total.bad == 0 && !total.transport_error &&
                        !total.protocol_error && child_exit == 0 && stats_ok;
+  if (!server_metrics.empty()) {
+    out << "{\"schema\":\"" << schema::kLoadgen << "\",\"event\":\"server\""
+        << ",\"metrics\":" << server_metrics << "}\n";
+  }
   out << "{\"schema\":\"" << schema::kLoadgen << "\",\"event\":\"summary\""
       << ",\"sent\":" << total.sent << ",\"answered\":" << total.answered
       << ",\"ok\":" << total.ok << ",\"overloaded\":" << total.overloaded

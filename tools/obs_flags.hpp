@@ -8,15 +8,25 @@
 //   --metrics-out=FILE  after the run, snapshot the global MetricsRegistry
 //                       to FILE as a metrics/1 JSON document.
 //
+// Plus the time-series recorder (the serving plane's flight recorder, but
+// available to every tool):
+//
+//   --metrics-ts-out=FILE  run a background sampler for the duration of
+//                          the process and flush a metricsts/1 NDJSON
+//                          timeline (periodic registry deltas) to FILE.
+//   --metrics-interval=MS  sampling period in milliseconds (default 1000).
+//
 // Header-only; each tool owns one ObsWriter for the duration of main().
 #pragma once
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -32,8 +42,24 @@ class ObsWriter {
   /// Opens the requested outputs and installs the trace sink. Empty
   /// strings mean "not requested". Returns false (with a message on
   /// stderr) if a file cannot be opened.
-  bool setup(const std::string& trace_out, const std::string& metrics_out) {
+  bool setup(const std::string& trace_out, const std::string& metrics_out,
+             const std::string& metrics_ts_out = "",
+             double metrics_interval_ms = 1000.0) {
     metrics_path_ = metrics_out;
+    if (!metrics_ts_out.empty()) {
+      // Open now so a bad path fails before the run, not after it.
+      timeline_file_.open(metrics_ts_out, std::ios::binary);
+      if (!timeline_file_) {
+        std::cerr << "error: cannot open metrics timeline output "
+                  << metrics_ts_out << "\n";
+        return false;
+      }
+      obs::MetricsTimelineOptions options;
+      options.interval = std::chrono::microseconds(
+          static_cast<long long>(metrics_interval_ms * 1000.0));
+      timeline_ = std::make_unique<obs::MetricsTimeline>(options);
+      timeline_->start();
+    }
     if (!trace_out.empty()) {
       trace_file_.open(trace_out, std::ios::binary);
       if (!trace_file_) {
@@ -59,6 +85,13 @@ class ObsWriter {
       sink_.reset();  // ChromeTraceSink writes its document on destruction
       trace_file_.close();
     }
+    if (timeline_) {
+      timeline_->stop();
+      timeline_->sample_now();  // final post-quiesce cut
+      timeline_->flush(timeline_file_);
+      timeline_.reset();
+      timeline_file_.close();
+    }
     if (!metrics_path_.empty()) {
       std::ofstream out(metrics_path_, std::ios::binary);
       if (!out) {
@@ -73,7 +106,9 @@ class ObsWriter {
 
  private:
   std::ofstream trace_file_;
+  std::ofstream timeline_file_;
   std::unique_ptr<obs::TraceSink> sink_;
+  std::unique_ptr<obs::MetricsTimeline> timeline_;
   std::string metrics_path_;
 };
 
