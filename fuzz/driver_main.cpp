@@ -1,0 +1,38 @@
+// Standalone replay driver for toolchains without libFuzzer (gcc builds).
+//
+// A clang -fsanitize=fuzzer build links libFuzzer's own main(), which
+// replays any file arguments once each and exits; this driver gives the
+// same binaries the same contract everywhere else, so the corpus-replay
+// ctest entries (fuzz/CMakeLists.txt) run under every compiler even
+// though coverage-guided *fuzzing* stays clang-only.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    if (!path.empty() && path[0] == '-') {
+      continue;  // ignore libFuzzer-style flags so commands stay portable
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "driver: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::fprintf(stderr, "driver: replayed %d input(s) clean\n", replayed);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// libFuzzer harness for the chaos/1 scenario text format: malformed input
+// must be rejected with exactly ContractViolation (never another
+// exception, never a crash or stall), and parse -> to_text -> parse must
+// be a fixpoint. Battery shared with the deterministic tests via
+// src/testkit/fuzz_targets.cpp.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "testkit/fuzz_targets.hpp"
+
+namespace {
+constexpr std::size_t kMaxInput = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) {
+    return 0;
+  }
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const std::vector<std::string> violations =
+      dbn::testkit::check_chaos_scenario_bytes(bytes);
+  if (!violations.empty()) {
+    for (const std::string& what : violations) {
+      std::fprintf(stderr, "chaos_scenario invariant violated: %s\n",
+                   what.c_str());
+    }
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// libFuzzer harness for obs::json_parse: rejection is always acceptable,
+// but parse-accepts implies the value respects the depth cap and
+// serializes to a canonical fixpoint; leading-zero numbers and over-deep
+// nesting must be rejected. Battery shared with the deterministic tests
+// via src/testkit/fuzz_targets.cpp.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "testkit/fuzz_targets.hpp"
+
+namespace {
+constexpr std::size_t kMaxInput = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) {
+    return 0;
+  }
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const std::vector<std::string> violations =
+      dbn::testkit::check_json_parse_bytes(bytes);
+  if (!violations.empty()) {
+    for (const std::string& what : violations) {
+      std::fprintf(stderr, "json_parse invariant violated: %s\n",
+                   what.c_str());
+    }
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// libFuzzer harness for the serve/1 wire surface: bytes -> FrameReader ->
+// decode -> re-encode. The rule: framing errors are connection-fatal, but
+// nothing below framing may crash — and everything that decodes must
+// re-encode to the input bytes. The battery lives in
+// src/testkit/fuzz_targets.cpp so tests/test_wire_corpus.cpp replays the
+// exact same invariants deterministically.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "testkit/fuzz_targets.hpp"
+
+namespace {
+// Big inputs add frames, not states: the parser is O(n) with no
+// cross-frame memory, so cap the work per iteration.
+constexpr std::size_t kMaxInput = 1 << 16;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size > kMaxInput) {
+    return 0;
+  }
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const std::vector<std::string> violations =
+      dbn::testkit::check_serve_frame_bytes(bytes);
+  if (!violations.empty()) {
+    for (const std::string& what : violations) {
+      std::fprintf(stderr, "serve_frame invariant violated: %s\n",
+                   what.c_str());
+    }
+    std::abort();
+  }
+  return 0;
+}

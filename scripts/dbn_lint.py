@@ -25,8 +25,22 @@ House rules (each one exists because the generic tooling cannot express it):
   include-order       A foo.cpp must include its own foo.hpp first — the
                       cheap way to keep every header self-contained.
 
+  mutex-needs-annotation
+                      Concurrency state in src/ is checkable by Clang's
+                      Thread Safety Analysis only when the mutex is a
+                      dbn::Mutex (common/mutex.hpp) and the state it guards
+                      carries DBN_GUARDED_BY. A raw std::mutex member can
+                      never be named as a capability; a dbn::Mutex in a file
+                      with no DBN_GUARDED_BY at all guards nothing the
+                      analysis can see. Either annotate or justify inline.
+
 Suppressing a finding requires an inline justification on the same line:
     ... // dbn-lint: allow(<rule>) <reason>
+
+Suppressions are audited: an allow() naming an unknown rule, or one on a
+line where that rule no longer fires, is itself a finding
+(stale-suppression) — dead suppressions hide real regressions when the
+code under them changes.
 
 Usage:
     dbn_lint.py --compile-commands build/compile_commands.json
@@ -63,6 +77,20 @@ SCHEMA_LITERAL_RE = re.compile(
     r"|case|corpus)/[0-9]+"
 )
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+# A mutex *declaration* (member or local): optional qualifiers, the type,
+# one identifier, `;`. References (`Mutex&`) alias an existing capability
+# and don't match.
+STD_MUTEX_DECL_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|shared_|timed_)?mutex\s+\w+\s*;"
+)
+DBN_MUTEX_DECL_RE = re.compile(
+    r"(?:(?<![A-Za-z0-9_:])Mutex|\bdbn\s*::\s*Mutex)\s+\w+\s*;"
+)
+
+KNOWN_RULES = frozenset({
+    "naked-assert", "std-rand", "raw-new", "schema-literal",
+    "include-order", "mutex-needs-annotation",
+})
 
 
 def strip_comments_keep_strings(text: str) -> str:
@@ -124,45 +152,88 @@ class Linter:
         code_lines = code.splitlines()
 
         in_tests = top == "tests"
+        file_has_guarded_by = "DBN_GUARDED_BY" in code
         for lineno, (code_line, raw_line) in enumerate(
             zip(code_lines, raw_lines), start=1
         ):
             allowed = {m.group(1) for m in ALLOW_RE.finditer(raw_line)}
             bare = strip_strings(code_line)
+            # Every rule that would fire on this line, allowed or not —
+            # feeds both the findings and the stale-suppression audit.
+            fired: set[str] = set()
 
-            if not in_tests and "naked-assert" not in allowed:
+            if not in_tests:
                 for m in NAKED_ASSERT_RE.finditer(bare):
                     before = bare[: m.start()]
                     if before.rstrip().endswith(("static_", "_")):
                         continue
+                    fired.add("naked-assert")
+                if "naked-assert" in fired and "naked-assert" not in allowed:
                     self.report(
                         path, lineno, "naked-assert",
                         "use DBN_REQUIRE/DBN_ENSURE/DBN_ASSERT/DBN_AUDIT "
                         "(common/contract.hpp); assert() vanishes under NDEBUG",
                     )
-            if top in ("src", "tools") and "std-rand" not in allowed:
+            if top in ("src", "tools"):
                 if STD_RAND_RE.search(bare):
-                    self.report(
-                        path, lineno, "std-rand",
-                        "std::rand/srand are unseeded shared state; "
-                        "use common/rng.hpp",
-                    )
-            if top == "src" and "raw-new" not in allowed:
+                    fired.add("std-rand")
+                    if "std-rand" not in allowed:
+                        self.report(
+                            path, lineno, "std-rand",
+                            "std::rand/srand are unseeded shared state; "
+                            "use common/rng.hpp",
+                        )
+            if top == "src":
                 if RAW_NEW_RE.search(bare) and "= delete" not in bare:
-                    self.report(
-                        path, lineno, "raw-new",
-                        "raw new expression; use std::make_unique/containers",
-                    )
-            if (
-                top in ("src", "tools")
-                and rel != SCHEMA_REGISTRY
-                and "schema-literal" not in allowed
-            ):
+                    fired.add("raw-new")
+                    if "raw-new" not in allowed:
+                        self.report(
+                            path, lineno, "raw-new",
+                            "raw new expression; "
+                            "use std::make_unique/containers",
+                        )
+            if top in ("src", "tools") and rel != SCHEMA_REGISTRY:
                 if SCHEMA_LITERAL_RE.search(code_line):
+                    fired.add("schema-literal")
+                    if "schema-literal" not in allowed:
+                        self.report(
+                            path, lineno, "schema-literal",
+                            "schema version strings are declared once in "
+                            "src/common/schema.hpp; reference the constant",
+                        )
+            if top == "src":
+                if STD_MUTEX_DECL_RE.search(bare):
+                    fired.add("mutex-needs-annotation")
+                    if "mutex-needs-annotation" not in allowed:
+                        self.report(
+                            path, lineno, "mutex-needs-annotation",
+                            "raw std::mutex cannot carry thread-safety "
+                            "annotations; use dbn::Mutex (common/mutex.hpp) "
+                            "and DBN_GUARDED_BY",
+                        )
+                elif DBN_MUTEX_DECL_RE.search(bare) and not file_has_guarded_by:
+                    fired.add("mutex-needs-annotation")
+                    if "mutex-needs-annotation" not in allowed:
+                        self.report(
+                            path, lineno, "mutex-needs-annotation",
+                            "this file declares a Mutex but no state is "
+                            "DBN_GUARDED_BY it; annotate the guarded fields "
+                            "or justify inline",
+                        )
+
+            # Stale-suppression audit. include-order is checked in its own
+            # whole-file pass below, so its allows are exempt here.
+            for rule in sorted(allowed - fired - {"include-order"}):
+                if rule not in KNOWN_RULES:
                     self.report(
-                        path, lineno, "schema-literal",
-                        "schema version strings are declared once in "
-                        "src/common/schema.hpp; reference the constant",
+                        path, lineno, "stale-suppression",
+                        f"allow({rule}) names an unknown rule",
+                    )
+                else:
+                    self.report(
+                        path, lineno, "stale-suppression",
+                        f"allow({rule}) suppresses nothing on this line; "
+                        "remove the stale comment",
                     )
 
         if top == "src" and path.suffix == ".cpp":

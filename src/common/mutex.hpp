@@ -1,0 +1,102 @@
+// Capability-annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so guarding a
+// field with it is invisible to `-Wthread-safety`. dbn::Mutex is a
+// zero-overhead std::mutex wrapper declared as a capability; MutexLock
+// and RelockableLock are the scoped guards the analysis understands
+// (std::lock_guard / std::unique_lock shapes). Condition-variable waits
+// go through std::condition_variable_any, which accepts any BasicLockable
+// — RelockableLock qualifies — so waiting code keeps its annotations.
+//
+// House rules (checked by dbn_lint's mutex-needs-annotation rule and the
+// clang -Wthread-safety wall in CI):
+//   * concurrent state is guarded by a dbn::Mutex member and every
+//     protected field carries DBN_GUARDED_BY(that_mutex_);
+//   * critical sections use MutexLock (or RelockableLock when they wait);
+//   * helpers called with the lock held are annotated DBN_REQUIRES(m).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace dbn {
+
+/// A std::mutex the thread-safety analysis can see. Same cost, same
+/// semantics; only the type carries capability attributes.
+class DBN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DBN_ACQUIRE() { impl_.lock(); }
+  void unlock() DBN_RELEASE() { impl_.unlock(); }
+  bool try_lock() DBN_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+  /// The wrapped mutex, for interop that needs the std type. Bypasses the
+  /// analysis — prefer MutexLock/RelockableLock.
+  std::mutex& native() DBN_RETURN_CAPABILITY(this) { return impl_; }
+
+ private:
+  std::mutex impl_;  // dbn-lint: allow(mutex-needs-annotation) the capability wrapper itself; guarded state hangs off the enclosing dbn::Mutex
+};
+
+/// std::lock_guard over dbn::Mutex (scoped capability: the analysis
+/// tracks the acquire in the constructor and the release in the
+/// destructor).
+class DBN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DBN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() DBN_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// std::unique_lock over dbn::Mutex: relockable, so it satisfies
+/// BasicLockable and can be handed to std::condition_variable_any::wait
+/// (which unlocks/relocks internally — the analysis models the capability
+/// as continuously held across the wait, which is exactly the invariant
+/// the guarded fields rely on at the wait's observable points).
+class DBN_SCOPED_CAPABILITY RelockableLock {
+ public:
+  explicit RelockableLock(Mutex& mutex) DBN_ACQUIRE(mutex)
+      : mutex_(mutex), held_(true) {
+    mutex_.lock();
+  }
+  ~RelockableLock() DBN_RELEASE() {
+    if (held_) {
+      mutex_.unlock();
+    }
+  }
+
+  RelockableLock(const RelockableLock&) = delete;
+  RelockableLock& operator=(const RelockableLock&) = delete;
+
+  void lock() DBN_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() DBN_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_;
+};
+
+/// The condition variable that pairs with RelockableLock. (The plain
+/// std::condition_variable only accepts std::unique_lock<std::mutex>,
+/// which the analysis cannot see through.)
+using CondVar = std::condition_variable_any;
+
+}  // namespace dbn

@@ -12,12 +12,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace dbn {
 
@@ -79,30 +79,37 @@ class ThreadPool {
 
  private:
   void worker_main(std::size_t worker_index);
-  void run_chunks(std::size_t worker_index);
+  // DBN_NO_THREAD_SAFETY_ANALYSIS: the one sanctioned unchecked reader of
+  // the job fields — run_chunks executes between a generation_ observation
+  // and the active_workers_ decrement, both under mutex_, so body_/total_/
+  // chunk_size_ are frozen for its whole execution (the happens-before
+  // rationale on the fields below).
+  void run_chunks(std::size_t worker_index) DBN_NO_THREAD_SAFETY_ANALYSIS;
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  bool stopping_ = false;
-  std::uint64_t generation_ = 0;   // bumped per parallel_for; wakes workers
-  std::size_t active_workers_ = 0; // helpers still inside the current job
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  bool stopping_ DBN_GUARDED_BY(mutex_) = false;
+  // Bumped per parallel_for; wakes workers.
+  std::uint64_t generation_ DBN_GUARDED_BY(mutex_) = 0;
+  // Helpers still inside the current job.
+  std::size_t active_workers_ DBN_GUARDED_BY(mutex_) = 0;
 
   // Current job (valid while active_workers_ > 0 or the caller is inside
   // parallel_for). Concurrency audit: the plain fields are written by
-  // parallel_for under mutex_ and read by workers only after they observe
-  // the matching generation_ bump under the same mutex, so the lock — not
-  // the atomic — provides the happens-before edge. `next_` is the lone
-  // cross-thread atomic and is used purely as a work counter with relaxed
-  // ordering (rationale at each use in thread_pool.cpp and in
-  // docs/static_analysis.md).
-  const ChunkBody* body_ = nullptr;
-  std::size_t total_ = 0;
-  std::size_t chunk_size_ = 1;
+  // parallel_for under mutex_ and read by workers (run_chunks, exempted
+  // above) only after they observe the matching generation_ bump under the
+  // same mutex, so the lock — not the atomic — provides the happens-before
+  // edge. `next_` is the lone cross-thread atomic and is used purely as a
+  // work counter with relaxed ordering (rationale at each use in
+  // thread_pool.cpp and in docs/static_analysis.md).
+  const ChunkBody* body_ DBN_GUARDED_BY(mutex_) = nullptr;
+  std::size_t total_ DBN_GUARDED_BY(mutex_) = 0;
+  std::size_t chunk_size_ DBN_GUARDED_BY(mutex_) = 1;
   std::atomic<std::size_t> next_{0};
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_ DBN_GUARDED_BY(mutex_);
 };
 
 }  // namespace dbn

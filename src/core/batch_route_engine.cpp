@@ -55,7 +55,12 @@ BatchRouteEngine::BatchRouteEngine(std::uint32_t d, std::size_t k,
     shards_.reserve(shard_count);
     for (std::size_t i = 0; i < shard_count; ++i) {
       auto shard = std::make_unique<CacheShard>();
-      shard->entries.resize(per_shard);
+      // Pre-publication, but lock anyway: one uncontended acquisition per
+      // shard keeps the sizing write inside the checked discipline.
+      {
+        const MutexLock lock(shard->mutex);
+        shard->entries.resize(per_shard);
+      }
       shards_.push_back(std::move(shard));
     }
   }
@@ -96,8 +101,8 @@ bool BatchRouteEngine::cache_lookup(std::uint64_t hash, const Word& x,
   // parallel_for's join (which is the synchronization point).
   cache_lookups_.fetch_add(1, std::memory_order_relaxed);
   CacheShard& shard = *shards_[hash % shards_.size()];
+  const MutexLock lock(shard.mutex);
   const std::size_t slot = (hash / shards_.size()) % shard.entries.size();
-  std::lock_guard<std::mutex> lock(shard.mutex);
   const CacheEntry& entry = shard.entries[slot];
   if (entry.filled && entry.hash == hash && entry.x == x && entry.y == y) {
     out = entry.path;
@@ -110,8 +115,8 @@ bool BatchRouteEngine::cache_lookup(std::uint64_t hash, const Word& x,
 void BatchRouteEngine::cache_store(std::uint64_t hash, const Word& x,
                                    const Word& y, const RoutingPath& path) {
   CacheShard& shard = *shards_[hash % shards_.size()];
+  const MutexLock lock(shard.mutex);
   const std::size_t slot = (hash / shards_.size()) % shard.entries.size();
-  std::lock_guard<std::mutex> lock(shard.mutex);
   CacheEntry& entry = shard.entries[slot];
   if (entry.filled &&
       !(entry.hash == hash && entry.x == x && entry.y == y)) {

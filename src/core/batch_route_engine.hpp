@@ -31,10 +31,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/path.hpp"
 #include "core/path_builder.hpp"
 #include "core/route_engine.hpp"
@@ -152,8 +152,10 @@ class BatchRouteEngine {
     RoutingPath path;
   };
   struct CacheShard {
-    std::mutex mutex;
-    std::vector<CacheEntry> entries;
+    Mutex mutex;
+    // Sized once at construction (never resized), so entries.size() is
+    // immutable; the lock guards the slots' contents.
+    std::vector<CacheEntry> entries DBN_GUARDED_BY(mutex);
   };
 
   void validate(const RouteQuery& query) const;

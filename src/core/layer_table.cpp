@@ -80,7 +80,12 @@ void LayerTable::init_cache(const LayerTableOptions& options) {
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     auto shard = std::make_unique<Shard>();
-    shard->slots.resize(slots_per_shard_);
+    // Pre-publication, but lock anyway: one uncontended acquisition per
+    // shard keeps the sizing write inside the checked discipline.
+    {
+      const MutexLock lock(shard->mutex);
+      shard->slots.resize(slots_per_shard_);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -143,7 +148,7 @@ std::shared_ptr<const LayerTable::View> LayerTable::view(const Word& y) {
   Shard& shard = *shards_[h % shards_.size()];
   const std::size_t slot = (h >> 32) % slots_per_shard_;
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     const std::shared_ptr<const View>& cached = shard.slots[slot];
     if (cached != nullptr && cached->destination() == destination) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -158,7 +163,7 @@ std::shared_ptr<const LayerTable::View> LayerTable::view(const Word& y) {
   builds_.fetch_add(1, std::memory_order_relaxed);
   metrics_builds_.inc();
   {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    const MutexLock lock(shard.mutex);
     std::shared_ptr<const View>& slot_ref = shard.slots[slot];
     if (slot_ref != nullptr && slot_ref->destination() != destination) {
       evictions_.fetch_add(1, std::memory_order_relaxed);

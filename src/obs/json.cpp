@@ -155,6 +155,14 @@ class JsonParser {
   }
 
   bool parse_object(JsonValue& out, std::size_t depth) {
+    // Container depth is capped at entry, not just via the child values:
+    // otherwise 65 nested *empty* containers parse fine while 65 around a
+    // scalar are rejected (the scalar trips the parse_value guard, an
+    // empty container never recurses). Found by the json_parse fuzz
+    // battery's depth probes.
+    if (depth >= kMaxDepth) {
+      return false;
+    }
     out.kind = JsonValue::Kind::Object;
     ++pos_;  // '{'
     skip_ws();
@@ -185,6 +193,9 @@ class JsonParser {
   }
 
   bool parse_array(JsonValue& out, std::size_t depth) {
+    if (depth >= kMaxDepth) {  // see parse_object: empty containers too
+      return false;
+    }
     out.kind = JsonValue::Kind::Array;
     ++pos_;  // '['
     skip_ws();

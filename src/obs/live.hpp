@@ -24,14 +24,13 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 
 namespace dbn::obs {
@@ -82,17 +81,20 @@ class MetricsTimeline {
   MetricsTimelineOptions options_;
   MetricsRegistry* registry_;
 
-  mutable std::mutex mutex_;
-  std::deque<Sample> ring_;
-  MetricsSnapshot previous_;
-  bool have_previous_ = false;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mutex_;
+  std::deque<Sample> ring_ DBN_GUARDED_BY(mutex_);
+  MetricsSnapshot previous_ DBN_GUARDED_BY(mutex_);
+  bool have_previous_ DBN_GUARDED_BY(mutex_) = false;
+  std::uint64_t next_seq_ DBN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ DBN_GUARDED_BY(mutex_) = 0;
 
-  std::mutex wake_mutex_;
-  std::condition_variable wake_;
-  bool stop_requested_ = false;
-  bool running_ = false;
+  Mutex wake_mutex_;
+  CondVar wake_;
+  bool stop_requested_ DBN_GUARDED_BY(wake_mutex_) = false;
+  bool running_ DBN_GUARDED_BY(wake_mutex_) = false;
+  // start() writes the handle before any other thread can observe it and
+  // stop() joins it while no lock is held; the running_ protocol (above)
+  // is what orders the two, so the handle itself needs no guard.
   std::thread sampler_;
 };
 

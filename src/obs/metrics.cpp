@@ -129,7 +129,7 @@ MetricsRegistry& MetricsRegistry::global() {
 const MetricsRegistry::MetricInfo& MetricsRegistry::register_metric(
     std::string_view name, MetricKind kind, std::vector<double> bounds) {
   DBN_REQUIRE(!name.empty(), "metric names must be non-empty");
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   const auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) {
     const MetricInfo& existing = metrics_[it->second];
@@ -181,6 +181,10 @@ Counter MetricsRegistry::counter(std::string_view name) {
 
 Gauge MetricsRegistry::gauge(std::string_view name) {
   const MetricInfo& info = register_metric(name, MetricKind::Gauge, {});
+  // Registration-time only: the returned handle keeps the cell's stable
+  // address and never touches gauges_ again, so re-taking the lock for
+  // the index costs nothing on any hot path.
+  const MutexLock lock(mutex_);
   return Gauge(&gauges_[info.gauge_index]);
 }
 
@@ -214,7 +218,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   if (it == tls.by_registry.end()) {
     auto shard = std::make_shared<Shard>();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       shards_.push_back(shard);
     }
     it = tls.by_registry.emplace(registry_id_, std::move(shard)).first;
@@ -228,7 +232,7 @@ void MetricsRegistry::ensure_cells(Shard& shard) const {
   // Only the owning thread grows its shard; the lock orders growth against a
   // concurrent snapshot()/reset() traversal. Deque growth never relocates
   // existing cells, so lock-free fetch_adds on them stay valid throughout.
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  const MutexLock lock(shard.mutex);
   const std::size_t u64_target = u64_total_.load(std::memory_order_acquire);
   while (shard.u64.size() < u64_target) {
     shard.u64.emplace_back(0);
@@ -240,12 +244,12 @@ void MetricsRegistry::ensure_cells(Shard& shard) const {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<std::uint64_t> u64(u64_total_.load(std::memory_order_relaxed),
                                  0);
   std::vector<double> f64(f64_total_.load(std::memory_order_relaxed), 0.0);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const MutexLock shard_lock(shard->mutex);
     // memory_order_relaxed cell reads: a snapshot taken while other threads
     // increment is a valid cut (each cell individually atomic), not a
     // linearizable cross-cell one — callers that need exact totals join
@@ -295,9 +299,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    const MutexLock shard_lock(shard->mutex);
     for (auto& cell : shard->u64) {
       cell.store(0, std::memory_order_relaxed);
     }
@@ -311,7 +315,7 @@ void MetricsRegistry::reset() {
 }
 
 std::size_t MetricsRegistry::metric_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return metrics_.size();
 }
 

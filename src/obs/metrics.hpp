@@ -27,11 +27,12 @@
 #include <deque>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace dbn::obs {
 
@@ -49,7 +50,11 @@ const char* metric_kind_name(MetricKind kind);
 class Counter {
  public:
   Counter() = default;
-  void inc(std::uint64_t n = 1);
+  // DBN_NO_THREAD_SAFETY_ANALYSIS: the intentional lock-free hot path —
+  // inc() touches only the calling thread's own shard, whose cells never
+  // relocate and are only ever grown by that same thread (ensure_cells
+  // takes the shard lock to order growth against snapshot traversal).
+  void inc(std::uint64_t n = 1) DBN_NO_THREAD_SAFETY_ANALYSIS;
   explicit operator bool() const { return registry_ != nullptr; }
 
  private:
@@ -80,7 +85,9 @@ class Gauge {
 class Histogram {
  public:
   Histogram() = default;
-  void observe(double value);
+  // DBN_NO_THREAD_SAFETY_ANALYSIS: same owner-thread shard-cell pattern
+  // as Counter::inc (see that comment).
+  void observe(double value) DBN_NO_THREAD_SAFETY_ANALYSIS;
   explicit operator bool() const { return registry_ != nullptr; }
 
  private:
@@ -187,9 +194,9 @@ class MetricsRegistry {
   // can fetch_add without holding `mutex`; `mutex` only guards growth
   // (owner) against traversal (snapshot/reset).
   struct Shard {
-    std::mutex mutex;
-    std::deque<std::atomic<std::uint64_t>> u64;
-    std::deque<std::atomic<double>> f64;
+    Mutex mutex;
+    std::deque<std::atomic<std::uint64_t>> u64 DBN_GUARDED_BY(mutex);
+    std::deque<std::atomic<double>> f64 DBN_GUARDED_BY(mutex);
   };
 
   Shard& local_shard();
@@ -198,13 +205,14 @@ class MetricsRegistry {
                                     std::vector<double> bounds);
 
   const std::uint64_t registry_id_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // Deques: element addresses are stable across registration, so handles may
   // keep pointers into them without holding mutex_.
-  std::deque<MetricInfo> metrics_;
-  std::unordered_map<std::string, std::uint32_t> by_name_;
-  std::vector<std::shared_ptr<Shard>> shards_;
-  std::deque<std::atomic<std::int64_t>> gauges_;
+  std::deque<MetricInfo> metrics_ DBN_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::uint32_t> by_name_
+      DBN_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Shard>> shards_ DBN_GUARDED_BY(mutex_);
+  std::deque<std::atomic<std::int64_t>> gauges_ DBN_GUARDED_BY(mutex_);
   std::atomic<std::uint32_t> u64_total_{0};
   std::atomic<std::uint32_t> f64_total_{0};
 };

@@ -254,17 +254,17 @@ double wall_ts_micros() {
 }
 
 void MemoryTraceSink::emit(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.push_back(event);
 }
 
 std::vector<TraceEvent> MemoryTraceSink::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return events_;
 }
 
 void MemoryTraceSink::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   events_.clear();
 }
 
@@ -307,7 +307,7 @@ NdjsonTraceSink::NdjsonTraceSink(std::ostream& out) : out_(out) {
 }
 
 void NdjsonTraceSink::emit(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   TraceEvent renumbered = event;
   if (event.span != 0) {
     const auto [it, inserted] =

@@ -25,11 +25,12 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace dbn::obs {
 
@@ -184,8 +185,8 @@ class MemoryTraceSink : public TraceSink {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mutex_;
+  std::vector<TraceEvent> events_ DBN_GUARDED_BY(mutex_);
 };
 
 /// Streams newline-delimited JSON (schema "trace/1": one header line, then
@@ -198,9 +199,13 @@ class NdjsonTraceSink : public TraceSink {
   void emit(const TraceEvent& event) override;
 
  private:
+  // The stream is bound at construction (single-threaded) and written
+  // only inside emit()'s critical section; a reference member cannot be
+  // reseated, so mutex_ guards the map and serializes the writes.
   std::ostream& out_;
-  std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::uint64_t> span_ids_;
+  Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> span_ids_
+      DBN_GUARDED_BY(mutex_);
 };
 
 /// Renders one event as a trace/1 NDJSON line (no trailing newline).

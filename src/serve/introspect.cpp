@@ -53,7 +53,7 @@ bool SlowLog::note(const SlowRecord& record) {
   if (threshold_us_ <= 0.0 || record.total_us < threshold_us_) {
     return false;
   }
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ++total_;
   ring_.push_back(record);
   while (ring_.size() > capacity_) {
@@ -63,12 +63,12 @@ bool SlowLog::note(const SlowRecord& record) {
 }
 
 std::uint64_t SlowLog::total() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return total_;
 }
 
 std::vector<SlowRecord> SlowLog::records() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return {ring_.begin(), ring_.end()};
 }
 

@@ -26,10 +26,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "serve/protocol.hpp"
 
 namespace dbn::serve {
@@ -84,9 +84,9 @@ class SlowLog {
  private:
   const double threshold_us_;
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::deque<SlowRecord> ring_;
-  std::uint64_t total_ = 0;
+  mutable Mutex mutex_;
+  std::deque<SlowRecord> ring_ DBN_GUARDED_BY(mutex_);
+  std::uint64_t total_ DBN_GUARDED_BY(mutex_) = 0;
 };
 
 /// Per-connection counters as the probe reports them.

@@ -325,7 +325,11 @@ FrameReader::Result FrameReader::next(std::string& payload) {
   }
   const std::size_t length =
       get_u32(reinterpret_cast<const unsigned char*>(buffer_.data()));
-  if (length > kMaxPayload) {
+  // length == 0 is a framing error, not an empty request: every valid
+  // payload starts with a 9-byte request header, so a zero-length frame
+  // can only come from a desynchronized or malicious peer — treat it like
+  // an oversized frame and poison the stream (no resync is possible).
+  if (length == 0 || length > kMaxPayload) {
     poisoned_ = true;
     return Result::Error;
   }

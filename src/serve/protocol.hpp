@@ -141,8 +141,9 @@ DecodedResponse decode_response(std::string_view payload);
 
 /// Incremental frame extractor over an ordered byte stream. Feed bytes in
 /// any fragmentation; next() yields complete payloads in order. A declared
-/// length above kMaxPayload poisons the reader permanently (the stream
-/// cannot be resynchronized).
+/// length of zero (no valid payload is empty — the request header alone is
+/// 9 bytes) or above kMaxPayload poisons the reader permanently (the
+/// stream cannot be resynchronized).
 class FrameReader {
  public:
   enum class Result { NeedMore, Frame, Error };

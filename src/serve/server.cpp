@@ -70,7 +70,7 @@ bool Connection::feed(std::string_view bytes) {
 }
 
 void Connection::close() {
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const MutexLock lock(write_mutex_);
   sink_ = nullptr;
   if (!closed_) {
     closed_ = true;
@@ -84,7 +84,7 @@ bool Connection::clean() const {
 
 void Connection::send(std::string_view frames) {
   responses_.fetch_add(1, std::memory_order_relaxed);
-  const std::lock_guard<std::mutex> lock(write_mutex_);
+  const MutexLock lock(write_mutex_);
   if (sink_) {
     sink_(frames);
   }
@@ -139,7 +139,7 @@ std::shared_ptr<Connection> RouteServer::connect(
     Connection::ResponseSink sink) {
   std::uint64_t id = 0;
   {
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    const MutexLock lock(conns_mutex_);
     id = next_conn_id_++;
   }
   // make_shared needs a public constructor; Connection's is private so
@@ -147,7 +147,7 @@ std::shared_ptr<Connection> RouteServer::connect(
   std::shared_ptr<Connection> conn(
       new Connection(this, id, std::move(sink)));  // dbn-lint: allow(raw-new) private ctor, immediately owned
   {
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    const MutexLock lock(conns_mutex_);
     conns_.push_back(conn);
   }
   metrics_connections_.inc();
@@ -162,7 +162,7 @@ void RouteServer::note_connection_closed(const Connection& conn) {
 
 void RouteServer::begin_drain() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     draining_.store(true, std::memory_order_release);
   }
   queue_cv_.notify_all();
@@ -174,26 +174,26 @@ void RouteServer::wait_drained() {
 }
 
 ServeStats RouteServer::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t RouteServer::queue_depth() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return queue_.size();
 }
 
 IntrospectSnapshot RouteServer::introspect() const {
   IntrospectSnapshot snap;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     snap.stats = stats_;
     snap.queue_depth = queue_.size();
     snap.inflight = inflight_;
   }
   snap.uptime_us = elapsed_us(started_, std::chrono::steady_clock::now());
   {
-    const std::lock_guard<std::mutex> lock(conns_mutex_);
+    const MutexLock lock(conns_mutex_);
     snap.connections.reserve(conns_.size());
     for (const std::weak_ptr<Connection>& weak : conns_) {
       if (const std::shared_ptr<Connection> conn = weak.lock()) {
@@ -208,7 +208,7 @@ IntrospectSnapshot RouteServer::introspect() const {
 
 void RouteServer::note_protocol_error() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.protocol_errors;
   }
   metrics_protocol_errors_.inc();
@@ -232,7 +232,7 @@ void RouteServer::reject_undecodable(const std::shared_ptr<Connection>& conn,
                                      std::uint64_t id,
                                      std::string_view message) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.rejected_bad_request;
     ++stats_.rejected_undecodable;
   }
@@ -263,7 +263,7 @@ void RouteServer::admit(const std::shared_ptr<Connection>& conn,
       encode_ok_response(request.type, request.id, body, frame);
       conn->send(frame);
       {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         ++stats_.requests;
         ++stats_.responses_ok;
       }
@@ -294,7 +294,7 @@ void RouteServer::admit(const std::shared_ptr<Connection>& conn,
   const RequestType type = request.type;
   const std::uint64_t id = request.id;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++stats_.requests;
     if (draining_.load(std::memory_order_relaxed)) {
       verdict = Verdict::Draining;
@@ -339,11 +339,13 @@ void RouteServer::dispatcher_main() {
   for (;;) {
     batch.clear();
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] {
-        return !queue_.empty() ||
-               draining_.load(std::memory_order_relaxed);
-      });
+      RelockableLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload): the analysis
+      // checks this function's body with mutex_ held, which a predicate
+      // lambda would need its own REQUIRES annotation to express.
+      while (queue_.empty() && !draining_.load(std::memory_order_relaxed)) {
+        queue_cv_.wait(lock);
+      }
       if (queue_.empty()) {
         return;  // draining and nothing left: exit
       }
@@ -469,7 +471,7 @@ void RouteServer::process_batch(std::vector<Pending>& batch,
     }
   }
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stats_.responses_ok += n_ok;
     stats_.rejected_bad_request += n_bad;
     stats_.slow_requests += n_slow;

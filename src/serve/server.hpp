@@ -29,7 +29,6 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -40,6 +39,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "core/batch_route_engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -144,9 +144,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool failed_ = false;
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> responses_{0};
-  std::mutex write_mutex_;  // serializes reader-thread and dispatcher sends
-  ResponseSink sink_;       // guarded by write_mutex_ (close() nulls it)
-  bool closed_ = false;     // guarded by write_mutex_ (close-once metrics)
+  Mutex write_mutex_;  // serializes reader-thread and dispatcher sends
+  ResponseSink sink_ DBN_GUARDED_BY(write_mutex_);  // close() nulls it
+  bool closed_ DBN_GUARDED_BY(write_mutex_) = false;  // close-once metrics
 };
 
 /// One exact cut of the server's accounting, every field read under the
@@ -245,24 +245,24 @@ class RouteServer {
   SlowLog slow_log_;
   const std::chrono::steady_clock::time_point started_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
+  mutable Mutex mutex_;
+  CondVar queue_cv_;
+  std::deque<Pending> queue_ DBN_GUARDED_BY(mutex_);
   std::atomic<bool> draining_{false};
   std::once_flag join_once_;
 
-  // Exact accounting, all guarded by mutex_: every transition (admit,
-  // reject, batch pop, batch answer) commits its counter movement and its
-  // queue/inflight movement under the same lock hold, so any locked reader
-  // sees the ServeStats identity balance.
-  ServeStats stats_;
-  std::size_t inflight_ = 0;
+  // Exact accounting, guarded by mutex_ (compiler-checked): every
+  // transition (admit, reject, batch pop, batch answer) commits its
+  // counter movement and its queue/inflight movement under the same lock
+  // hold, so any locked reader sees the ServeStats identity balance.
+  ServeStats stats_ DBN_GUARDED_BY(mutex_);
+  std::size_t inflight_ DBN_GUARDED_BY(mutex_) = 0;
 
   // Connection registry for the probe (weak: connections are owned by
   // their transports and by queued requests).
-  mutable std::mutex conns_mutex_;
-  std::vector<std::weak_ptr<Connection>> conns_;
-  std::uint64_t next_conn_id_ = 1;
+  mutable Mutex conns_mutex_;
+  std::vector<std::weak_ptr<Connection>> conns_ DBN_GUARDED_BY(conns_mutex_);
+  std::uint64_t next_conn_id_ DBN_GUARDED_BY(conns_mutex_) = 1;
 
   obs::Counter metrics_requests_;
   obs::Counter metrics_ok_;

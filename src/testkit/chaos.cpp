@@ -142,6 +142,11 @@ ChaosScenario ChaosScenario::parse(std::string_view text) {
     if (tag == "net") {
       need(s.d, s.k);
       DBN_REQUIRE(s.d >= 1 && s.k >= 1, "chaos net needs d >= 1 and k >= 1");
+      // Ranks are 64-bit, so any d >= 2 network with k > 64 is already
+      // unrepresentable; the bound also keeps vertex_count()'s k-step
+      // multiply loop trivial for adversarial text (found by fuzzing:
+      // "net 2 99999999999" used to stall in pow_u64 before failing).
+      DBN_REQUIRE(s.k <= 64, "chaos k is bounded at 64 (64-bit ranks)");
       saw_net = true;
     } else if (tag == "seed") {
       need(s.seed);

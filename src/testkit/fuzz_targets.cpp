@@ -1,0 +1,416 @@
+#include "testkit/fuzz_targets.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <optional>
+#include <sstream>
+
+#include "common/contract.hpp"
+#include "obs/json.hpp"
+#include "serve/protocol.hpp"
+#include "testkit/chaos.hpp"
+
+namespace dbn::testkit {
+
+namespace {
+
+void violation(std::vector<std::string>& out, const std::string& what) {
+  out.push_back(what);
+}
+
+std::string hex_preview(std::string_view bytes, std::size_t limit = 48) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = bytes.size() < limit ? bytes.size() : limit;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<unsigned char>(bytes[i]);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  if (bytes.size() > limit) {
+    out += "...";
+  }
+  return out;
+}
+
+// --- serve/1 frames ---------------------------------------------------------
+
+void put_u16le(std::uint16_t v, std::string& out) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32le(std::uint32_t v, std::string& out) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64le(std::uint64_t v, std::string& out) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t read_u32le(std::string_view bytes) {
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+// Independent reference model of the serve/1 framing rules (spec comment
+// in serve/protocol.hpp): complete frames in order, poisoning on a zero
+// or oversized length prefix, no consumption past the poison point.
+struct FramingModel {
+  std::vector<std::string> frames;
+  bool poisoned = false;
+  std::size_t pending = 0;
+};
+
+FramingModel model_framing(std::string_view data) {
+  FramingModel model;
+  std::size_t pos = 0;
+  while (!model.poisoned && data.size() - pos >= 4) {
+    const std::uint32_t length = read_u32le(data.substr(pos, 4));
+    if (length == 0 || length > serve::kMaxPayload) {
+      model.poisoned = true;
+      break;
+    }
+    if (data.size() - pos < 4 + static_cast<std::size_t>(length)) {
+      break;
+    }
+    model.frames.emplace_back(data.substr(pos + 4, length));
+    pos += 4 + static_cast<std::size_t>(length);
+  }
+  model.pending = data.size() - pos;
+  return model;
+}
+
+// Runs a FrameReader over `data` delivered in `pieces` roughly equal
+// fragments and collects its observable behavior.
+FramingModel run_reader(std::string_view data, std::size_t pieces) {
+  FramingModel got;
+  serve::FrameReader reader;
+  const std::size_t step = pieces == 0 ? data.size() : data.size() / pieces;
+  std::size_t fed = 0;
+  std::string payload;
+  while (fed < data.size() || fed == 0) {
+    const std::size_t take =
+        step == 0 ? data.size() : std::min(step, data.size() - fed);
+    reader.feed(data.substr(fed, take));
+    fed += take;
+    const bool last = fed >= data.size();
+    bool more = true;
+    while (more) {
+      switch (reader.next(payload)) {
+        case serve::FrameReader::Result::Frame:
+          got.frames.push_back(payload);
+          break;
+        case serve::FrameReader::Result::NeedMore:
+        case serve::FrameReader::Result::Error:
+          more = false;
+          break;
+      }
+    }
+    if (data.empty() || (last && fed >= data.size())) {
+      break;
+    }
+  }
+  got.poisoned = reader.poisoned();
+  got.pending = reader.pending_bytes();
+  return got;
+}
+
+void check_framing_against_model(std::vector<std::string>& violations,
+                                 std::string_view data,
+                                 const FramingModel& model,
+                                 const FramingModel& got,
+                                 const std::string& label) {
+  if (got.poisoned != model.poisoned) {
+    violation(violations, label + ": reader poisoned=" +
+                              (got.poisoned ? "true" : "false") +
+                              " but the framing model says " +
+                              (model.poisoned ? "true" : "false") +
+                              " for input " + hex_preview(data));
+  }
+  if (got.frames != model.frames) {
+    violation(violations,
+              label + ": reader produced " +
+                  std::to_string(got.frames.size()) + " frame(s), model " +
+                  std::to_string(model.frames.size()) + " for input " +
+                  hex_preview(data));
+  }
+  if (got.pending != model.pending) {
+    violation(violations, label + ": pending_bytes=" +
+                              std::to_string(got.pending) + ", model says " +
+                              std::to_string(model.pending) + " for input " +
+                              hex_preview(data));
+  }
+}
+
+// Re-encodes a decoded request exactly as the wire spec lays it out; a
+// clean decode must reproduce the payload byte for byte (the decoder
+// neither drops nor invents information).
+std::string reencode_request(const serve::Request& request) {
+  std::string out;
+  out.push_back(static_cast<char>(request.type));
+  put_u64le(request.id, out);
+  if (request.type == serve::RequestType::Route ||
+      request.type == serve::RequestType::Distance) {
+    put_u16le(static_cast<std::uint16_t>(request.x.size()), out);
+    for (const std::uint8_t digit : request.x) {
+      out.push_back(static_cast<char>(digit));
+    }
+    for (const std::uint8_t digit : request.y) {
+      out.push_back(static_cast<char>(digit));
+    }
+  }
+  return out;
+}
+
+std::string reencode_response(const serve::Response& response) {
+  std::string out;
+  out.push_back(static_cast<char>(response.status));
+  out.push_back(static_cast<char>(response.type));
+  put_u64le(response.id, out);
+  if (response.status != serve::Status::Ok) {
+    out.append(response.body);
+    return out;
+  }
+  switch (response.type) {
+    case serve::RequestType::Route:
+      put_u16le(static_cast<std::uint16_t>(response.hops.size()), out);
+      for (const Hop& hop : response.hops) {
+        out.push_back(static_cast<char>(hop.type));
+        out.push_back(hop.is_wildcard()
+                          ? static_cast<char>(serve::kWireWildcard)
+                          : static_cast<char>(hop.digit));
+      }
+      break;
+    case serve::RequestType::Distance:
+      put_u32le(response.distance, out);
+      break;
+    case serve::RequestType::Ping:
+      break;
+    case serve::RequestType::Stats:
+    case serve::RequestType::Introspect:
+      out.append(response.body);
+      break;
+  }
+  return out;
+}
+
+void check_payload_decoding(std::vector<std::string>& violations,
+                            const std::string& payload) {
+  const serve::DecodedRequest request = serve::decode_request(payload);
+  if (request.error == serve::DecodeError::None) {
+    const std::string reencoded = reencode_request(request.request);
+    if (reencoded != payload) {
+      violation(violations,
+                "request decode/re-encode mismatch for payload " +
+                    hex_preview(payload) + " -> " + hex_preview(reencoded));
+    }
+    if (request.request.x.size() != request.request.y.size()) {
+      violation(violations, "decoded request with mismatched word lengths");
+    }
+  }
+  const serve::DecodedResponse response = serve::decode_response(payload);
+  if (response.error == serve::DecodeError::None) {
+    const std::string reencoded = reencode_response(response.response);
+    if (reencoded != payload) {
+      violation(violations,
+                "response decode/re-encode mismatch for payload " +
+                    hex_preview(payload) + " -> " + hex_preview(reencoded));
+    }
+  }
+}
+
+// --- json ------------------------------------------------------------------
+
+constexpr std::size_t kJsonDepthCap = 64;
+
+std::size_t json_depth(const obs::JsonValue& value) {
+  std::size_t deepest = 0;
+  for (const obs::JsonValue& item : value.items) {
+    deepest = std::max(deepest, json_depth(item));
+  }
+  for (const auto& [key, member] : value.members) {
+    deepest = std::max(deepest, json_depth(member));
+  }
+  return deepest + 1;
+}
+
+void write_canonical(const obs::JsonValue& value, std::ostream& out) {
+  using Kind = obs::JsonValue::Kind;
+  switch (value.kind) {
+    case Kind::Null:
+      out << "null";
+      break;
+    case Kind::Bool:
+      out << (value.boolean ? "true" : "false");
+      break;
+    case Kind::Number:
+      out << obs::json_number(value.number);
+      break;
+    case Kind::String:
+      out << '"' << obs::json_escape(value.string) << '"';
+      break;
+    case Kind::Array: {
+      out << '[';
+      bool first = true;
+      for (const obs::JsonValue& item : value.items) {
+        if (!first) {
+          out << ',';
+        }
+        first = false;
+        write_canonical(item, out);
+      }
+      out << ']';
+      break;
+    }
+    case Kind::Object: {
+      out << '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members) {
+        if (!first) {
+          out << ',';
+        }
+        first = false;
+        out << '"' << obs::json_escape(key) << "\":";
+        write_canonical(member, out);
+      }
+      out << '}';
+      break;
+    }
+  }
+}
+
+std::string canonical_json(const obs::JsonValue& value) {
+  std::ostringstream out;
+  write_canonical(value, out);
+  return out.str();
+}
+
+// --- chaos -----------------------------------------------------------------
+
+std::string text_preview(std::string_view text, std::size_t limit = 80) {
+  std::string out;
+  const std::size_t n = text.size() < limit ? text.size() : limit;
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    out.push_back((c >= 0x20 && c < 0x7F) ? c : '.');
+  }
+  if (text.size() > limit) {
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> check_serve_frame_bytes(std::string_view data) {
+  std::vector<std::string> violations;
+  const FramingModel model = model_framing(data);
+  // Fragmentation independence: the same byte stream delivered whole, in
+  // two pieces, and in three pieces must yield identical frames and the
+  // identical poison decision.
+  check_framing_against_model(violations, data, model, run_reader(data, 1),
+                              "whole feed");
+  check_framing_against_model(violations, data, model, run_reader(data, 2),
+                              "2-fragment feed");
+  check_framing_against_model(violations, data, model, run_reader(data, 3),
+                              "3-fragment feed");
+  for (const std::string& payload : model.frames) {
+    check_payload_decoding(violations, payload);
+  }
+  return violations;
+}
+
+std::vector<std::string> check_json_parse_bytes(std::string_view data) {
+  std::vector<std::string> violations;
+  // Input-independent probes, cheap enough to assert every iteration so
+  // the replayed corpora pin them too: numbers with a leading zero and
+  // nesting beyond the cap must be rejected; nesting at the cap must not.
+  if (obs::json_parse("01").has_value()) {
+    violation(violations, "json_parse accepted a leading-zero number");
+  }
+  if (obs::json_parse("-01.5").has_value()) {
+    violation(violations,
+              "json_parse accepted a negative leading-zero number");
+  }
+  {
+    const std::string over(kJsonDepthCap + 1, '[');
+    const std::string close(kJsonDepthCap + 1, ']');
+    if (obs::json_parse(over + close).has_value()) {
+      violation(violations, "json_parse accepted nesting beyond the cap");
+    }
+    const std::string at(kJsonDepthCap, '[');
+    const std::string at_close(kJsonDepthCap, ']');
+    if (!obs::json_parse(at + at_close).has_value()) {
+      violation(violations, "json_parse rejected nesting at the cap");
+    }
+  }
+  const std::optional<obs::JsonValue> parsed = obs::json_parse(data);
+  if (!parsed.has_value()) {
+    return violations;  // rejection is always an acceptable outcome
+  }
+  if (json_depth(*parsed) > kJsonDepthCap) {
+    violation(violations,
+              "json_parse accepted a value deeper than the documented cap");
+  }
+  // parse-accepts implies canonical fixpoint: serializing the value and
+  // re-parsing must succeed and reproduce the same serialization.
+  const std::string first = canonical_json(*parsed);
+  const std::optional<obs::JsonValue> reparsed = obs::json_parse(first);
+  if (!reparsed.has_value()) {
+    violation(violations, "canonical serialization failed to re-parse: " +
+                              text_preview(first));
+    return violations;
+  }
+  const std::string second = canonical_json(*reparsed);
+  if (second != first) {
+    violation(violations, "canonical JSON is not a fixpoint: " +
+                              text_preview(first) + " -> " +
+                              text_preview(second));
+  }
+  return violations;
+}
+
+std::vector<std::string> check_chaos_scenario_bytes(std::string_view data) {
+  std::vector<std::string> violations;
+  ChaosScenario scenario;
+  try {
+    scenario = ChaosScenario::parse(data);
+  } catch (const ContractViolation&) {
+    return violations;  // rejection is the contract for malformed input
+  } catch (const std::exception& e) {
+    violation(violations,
+              std::string("chaos parse threw a non-contract exception (") +
+                  e.what() + ") for input " + text_preview(data));
+    return violations;
+  }
+  // parse -> to_text -> parse is a fixpoint: the serialization is
+  // normalized, so one round trip must reach it.
+  const std::string text = scenario.to_text();
+  ChaosScenario reparsed;
+  try {
+    reparsed = ChaosScenario::parse(text);
+  } catch (const std::exception& e) {
+    violation(violations,
+              std::string("to_text produced unparseable output (") +
+                  e.what() + "): " + text_preview(text));
+    return violations;
+  }
+  const std::string round_tripped = reparsed.to_text();
+  if (round_tripped != text) {
+    violation(violations, "chaos to_text is not a parse fixpoint: " +
+                              text_preview(text) + " -> " +
+                              text_preview(round_tripped));
+  }
+  return violations;
+}
+
+}  // namespace dbn::testkit

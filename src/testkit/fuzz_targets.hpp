@@ -1,0 +1,35 @@
+// Invariant batteries behind the libFuzzer harnesses (fuzz/*.cpp) for the
+// three byte-level parsers a remote peer can reach:
+//
+//   serve_frame    serve/1 framing + request/response decoding. The rule
+//                  under test: framing errors (bad length prefix, zero or
+//                  oversized) are connection-fatal, but nothing below
+//                  framing may crash — and any payload that decodes
+//                  re-encodes to the exact input bytes.
+//   json_parse     obs::json_parse. parse-accepts implies the value is
+//                  well-formed (depth within the cap) and serializes to a
+//                  canonical fixpoint; leading-zero numbers and over-deep
+//                  nesting are rejected.
+//   chaos_scenario the chaos/1 text format. Rejection is exactly
+//                  ContractViolation (never another exception type, never
+//                  a crash), and parse -> to_text -> parse is a fixpoint.
+//
+// Each checker runs one input through its battery and returns
+// human-readable violation descriptions (empty = clean). The harness
+// aborts on any violation (so the fuzzer minimizes a reproducer); the
+// deterministic replays (tests/test_wire_corpus.cpp, the fuzz corpus
+// ctest entries) EXPECT the same emptiness, so a promoted reproducer is
+// pinned by the ordinary test suite forever after.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbn::testkit {
+
+std::vector<std::string> check_serve_frame_bytes(std::string_view data);
+std::vector<std::string> check_json_parse_bytes(std::string_view data);
+std::vector<std::string> check_chaos_scenario_bytes(std::string_view data);
+
+}  // namespace dbn::testkit

@@ -1,0 +1,30 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: the second MutexLock
+// re-acquires a capability this scope already holds, which deadlocks a
+// non-recursive std::mutex at runtime. The analysis rejects it at compile
+// time; if this TU ever builds in the static-analysis job, the
+// scoped-capability plumbing has gone dead.
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const dbn::MutexLock outer(mutex_);
+    const dbn::MutexLock inner(mutex_);  // expected-error: already held
+    ++value_;
+  }
+
+ private:
+  dbn::Mutex mutex_;
+  int value_ DBN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

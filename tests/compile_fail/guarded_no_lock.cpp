@@ -1,0 +1,32 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror: both members touch a
+// DBN_GUARDED_BY field without holding its mutex. If this TU ever builds
+// in the static-analysis job, the guarded_by plumbing has silently gone
+// dead (e.g. the macros expanded to nothing under clang) — which is
+// exactly the regression tests/compile_fail exists to catch.
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // expected-error: writing without mutex_ held
+  }
+
+  int balance() const {
+    return balance_;  // expected-error: reading without mutex_ held
+  }
+
+ private:
+  mutable dbn::Mutex mutex_;
+  int balance_ DBN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

@@ -1,0 +1,33 @@
+// MUST COMPILE cleanly under -Wthread-safety -Werror: the lock-correct
+// twin of the two negative TUs. It exists so a failure of those tests
+// provably means "the analysis caught the bug" rather than "the harness
+// can't compile anything" (wrong include paths, broken flags, ...).
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const dbn::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  int value() const {
+    const dbn::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable dbn::Mutex mutex_;
+  int value_ DBN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.value();
+}

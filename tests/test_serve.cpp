@@ -204,6 +204,23 @@ TEST(ServeProtocol, OversizedFramePoisonsReaderPermanently) {
   EXPECT_EQ(reader.next(payload), FrameReader::Result::Error);
 }
 
+TEST(ServeProtocol, ZeroLengthFramePoisonsReaderPermanently) {
+  // A zero-length frame cannot be a real request (every valid payload
+  // starts with a 9-byte header), so the reader treats it exactly like an
+  // oversized length: connection-fatal, no resync. Found by the serve_frame
+  // fuzz battery; the shrunk input is pinned in tests/corpus/wire too.
+  FrameReader reader;
+  reader.feed(std::string(4, '\0'));
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), FrameReader::Result::Error);
+  EXPECT_TRUE(reader.poisoned());
+  // A valid frame after the zero-length header must not revive the stream.
+  std::string valid;
+  encode_control_request(RequestType::Ping, 1, valid);
+  reader.feed(valid);
+  EXPECT_EQ(reader.next(payload), FrameReader::Result::Error);
+}
+
 TEST(ServeProtocol, TruncatedHeaderAndBodyAreRejected) {
   EXPECT_EQ(decode_request("").error, DecodeError::TruncatedHeader);
   EXPECT_EQ(decode_request("\x01").error, DecodeError::TruncatedHeader);

@@ -1,0 +1,73 @@
+// Replays the checked-in wire reproducers (tests/corpus/wire/*.bin)
+// through the shared serve-frame fuzz battery (testkit/fuzz_targets.hpp).
+// Inputs the fuzzers find get minimized and committed here so regressions
+// stay pinned even in builds that never run the fuzz/ harnesses; the same
+// files double as libFuzzer seeds via fuzz/corpus/serve_frame.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "testkit/fuzz_targets.hpp"
+
+namespace dbn::testkit {
+namespace {
+
+std::vector<std::string> list_wire_files() {
+  std::vector<std::string> files;
+  const std::string dir = std::string(DBN_CORPUS_DIR) + "/wire";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(WireCorpus, SeedInputsArePresent) {
+  EXPECT_GE(list_wire_files().size(), 10u)
+      << "the framing-edge and round-trip seeds must exist";
+}
+
+TEST(WireCorpus, EveryInputHoldsEveryFramingAndCodecInvariant) {
+  for (const std::string& file : list_wire_files()) {
+    SCOPED_TRACE(file);
+    const std::string bytes = read_bytes(file);
+    const std::vector<std::string> violations =
+        check_serve_frame_bytes(bytes);
+    std::string joined;
+    for (const std::string& v : violations) {
+      joined += v + "\n";
+    }
+    EXPECT_TRUE(violations.empty()) << joined;
+  }
+}
+
+TEST(WireCorpus, ZeroLengthFrameSeedPoisonsTheReader) {
+  // Pin the satellite fix in corpus form as well as unit form: the
+  // zero_length_frame seed must exist and must poison a FrameReader.
+  const std::string path =
+      std::string(DBN_CORPUS_DIR) + "/wire/zero_length_frame.bin";
+  const std::string bytes = read_bytes(path);
+  ASSERT_EQ(bytes.size(), 4u);
+  serve::FrameReader reader;
+  reader.feed(bytes);
+  std::string payload;
+  EXPECT_EQ(reader.next(payload), serve::FrameReader::Result::Error);
+}
+
+}  // namespace
+}  // namespace dbn::testkit
